@@ -1,0 +1,70 @@
+//===- bench/bench_fig17_cumulative.cpp - Figure 17 reproduction --------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 17: cumulative number of benchmarks solved as a
+/// function of per-task running time, for the five configurations the
+/// paper plots — No deduction, Spec 1 / Spec 2 each with and without
+/// partial evaluation. Prints one series per configuration (time of the
+/// k-th fastest solve), ready to plot.
+///
+/// Usage: bench_fig17_cumulative [timeout_ms]
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace morpheus;
+
+int main(int argc, char **argv) {
+  int TimeoutMs = argc > 1 ? std::atoi(argv[1]) : 2000;
+  std::chrono::milliseconds Timeout(TimeoutMs);
+  const std::vector<BenchmarkTask> &Suite = morpheusSuite();
+
+  struct Config {
+    const char *Name;
+    SynthesisConfig Cfg;
+  };
+  const Config Configs[] = {
+      {"No deduction", configNoDeduction(Timeout)},
+      {"Spec 1 (no p. eval)", configSpec1(Timeout, /*PartialEval=*/false)},
+      {"Spec 2 (no p. eval)", configSpec2(Timeout, /*PartialEval=*/false)},
+      {"Spec 1 (p. eval)", configSpec1(Timeout)},
+      {"Spec 2 (p. eval)", configSpec2(Timeout)},
+  };
+
+  std::printf("Figure 17: cumulative running time of MORPHEUS "
+              "(timeout %d ms per task)\n\n",
+              TimeoutMs);
+  for (const Config &C : Configs) {
+    std::printf("running configuration: %s\n", C.Name);
+    std::vector<TaskResult> Results = runSuite(Suite, C.Cfg);
+    std::vector<double> Times;
+    for (const TaskResult &R : Results)
+      if (R.Solved)
+        Times.push_back(R.Seconds);
+    std::sort(Times.begin(), Times.end());
+    double Cumulative = 0;
+    std::printf("  series %-22s solved=%zu/%zu:\n    ", C.Name,
+                Times.size(), Suite.size());
+    for (size_t I = 0; I != Times.size(); ++I) {
+      Cumulative += Times[I];
+      std::printf("(%zu, %.2f) ", I + 1, Cumulative);
+      if ((I + 1) % 8 == 0)
+        std::printf("\n    ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape (paper): both partial-evaluation series "
+              "dominate their no-p.eval variants (62->68 and 64->78 "
+              "benchmarks solved), and every deduction series dominates "
+              "No deduction.\n");
+  return 0;
+}

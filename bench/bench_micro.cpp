@@ -1,0 +1,157 @@
+//===- bench/bench_micro.cpp - Micro-benchmarks (google-benchmark) ------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the pieces whose costs Section 9 discusses: the
+/// component evaluator (the paper's R-interpreter bottleneck, 68% of its
+/// runtime), the DEDUCE SMT query, the abstraction function α, and type
+/// inhabitation enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+#include "smt/Deduce.h"
+#include "suite/Task.h"
+#include "synth/Inhabitation.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace morpheus;
+using namespace morpheus::pb;
+
+namespace {
+
+Table wideTable(size_t Rows) {
+  std::vector<Row> Data;
+  for (size_t I = 0; I != Rows; ++I)
+    Data.push_back({str("id" + std::to_string(I)), num(double(I)),
+                    num(double(I * 2)), num(double(I % 7))});
+  return makeTable({{"id", CellType::Str},
+                    {"a", CellType::Num},
+                    {"b", CellType::Num},
+                    {"c", CellType::Num}},
+                   std::move(Data));
+}
+
+void BM_GatherSpreadRoundTrip(benchmark::State &State) {
+  Table In = wideTable(size_t(State.range(0)));
+  HypPtr P = spread(gather(in(0), "key", "val", {"a", "b", "c"}), "key",
+                    "val");
+  for (auto _ : State) {
+    auto T = P->evaluate({In});
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_GatherSpreadRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GroupSummarise(benchmark::State &State) {
+  Table In = wideTable(size_t(State.range(0)));
+  HypPtr P = summarise(groupBy(in(0), {"c"}), "total", "sum", "a");
+  for (auto _ : State) {
+    auto T = P->evaluate({In});
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_GroupSummarise)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_InnerJoin(benchmark::State &State) {
+  Table A = wideTable(size_t(State.range(0)));
+  Table B = makeTable({{"c", CellType::Num}, {"tag", CellType::Str}},
+                      {{num(0), str("even")},
+                       {num(1), str("odd")},
+                       {num(2), str("two")},
+                       {num(3), str("three")},
+                       {num(4), str("four")},
+                       {num(5), str("five")},
+                       {num(6), str("six")}});
+  HypPtr P = innerJoin(in(0), in(1));
+  for (auto _ : State) {
+    auto T = P->evaluate({A, B});
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_InnerJoin)->Arg(10)->Arg(100);
+
+void BM_Abstraction(benchmark::State &State) {
+  Table In = wideTable(size_t(State.range(0)));
+  ExampleBase Base = ExampleBase::fromInputs({In});
+  for (auto _ : State) {
+    AttrValues A = abstractTable(In, Base);
+    benchmark::DoNotOptimize(A);
+  }
+}
+BENCHMARK(BM_Abstraction)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DeduceSatisfiable(benchmark::State &State) {
+  Table In = wideTable(50);
+  HypPtr GT = summarise(groupBy(in(0), {"c"}), "total", "sum", "a");
+  Table Out = *GT->evaluate({In});
+  DeductionEngine E({In}, Out);
+  HypPtr H = Hypothesis::apply(
+      StandardComponents::get().find("summarise"),
+      {Hypothesis::apply(StandardComponents::get().find("group_by"),
+                         {Hypothesis::input(0),
+                          Hypothesis::valueHole(ParamKind::Cols)}),
+       Hypothesis::valueHole(ParamKind::NewName),
+       Hypothesis::valueHole(ParamKind::Agg)});
+  for (auto _ : State) {
+    bool R = E.deduce(H, SpecLevel::Spec2, true);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_DeduceSatisfiable);
+
+void BM_DeduceRefuted(benchmark::State &State) {
+  // The Appendix Example 13 refutation: spread straight off the input.
+  Table In = wideTable(50);
+  Table Out = makeTable({{"brand_new1", CellType::Num},
+                         {"brand_new2", CellType::Num}},
+                        {{num(-1), num(-2)}});
+  DeductionEngine E({In}, Out);
+  HypPtr H = Hypothesis::apply(
+      StandardComponents::get().find("spread"),
+      {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::ColName),
+       Hypothesis::valueHole(ParamKind::ColName)});
+  for (auto _ : State) {
+    bool R = E.deduce(H, SpecLevel::Spec2, true);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_DeduceRefuted);
+
+void BM_InhabitationPred(benchmark::State &State) {
+  Table In = wideTable(size_t(State.range(0)));
+  ComponentLibrary Lib = StandardComponents::get().tidyDplyr();
+  Inhabitation Inhab(Lib, InhabitationConfig{});
+  for (auto _ : State) {
+    size_t Count = 0;
+    Inhab.enumerate(ParamKind::Pred, {In}, In, 0, [&](TermPtr) {
+      ++Count;
+      return true;
+    });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_InhabitationPred)->Arg(10)->Arg(100);
+
+void BM_InhabitationColsOrdered(benchmark::State &State) {
+  Table In = wideTable(20);
+  ComponentLibrary Lib = StandardComponents::get().tidyDplyr();
+  Inhabitation Inhab(Lib, InhabitationConfig{});
+  for (auto _ : State) {
+    size_t Count = 0;
+    Inhab.enumerate(ParamKind::ColsOrdered, {In}, In, 0, [&](TermPtr) {
+      ++Count;
+      return true;
+    });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_InhabitationColsOrdered);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+//===- baselines/Lambda2.cpp - λ²-style list synthesizer ---------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Lambda2.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace morpheus;
+
+ListOfLists morpheus::encodeAsLists(const Table &T) {
+  ListOfLists Out;
+  Out.reserve(T.numRows());
+  for (const Row &R : T.rows())
+    Out.push_back(R);
+  return Out;
+}
+
+namespace {
+
+/// Inner-list comparison predicate: row[Col] Op Const.
+struct Pred {
+  size_t Col;
+  int Op; // 0: ==, 1: !=, 2: <, 3: >
+  Value Const;
+
+  bool eval(const std::vector<Value> &Row) const {
+    if (Col >= Row.size())
+      return false;
+    const Value &V = Row[Col];
+    switch (Op) {
+    case 0:
+      return V == Const;
+    case 1:
+      return !(V == Const);
+    case 2:
+      return V < Const;
+    case 3:
+      return Const < V;
+    }
+    return false;
+  }
+
+  std::string toString() const {
+    static const char *Ops[] = {"==", "!=", "<", ">"};
+    return "r[" + std::to_string(Col) + "] " + Ops[Op] + " " +
+           Const.toString();
+  }
+};
+
+struct Search {
+  const ListOfLists &Input;
+  const ListOfLists &Output;
+  std::chrono::steady_clock::time_point Deadline;
+  Lambda2Result Result;
+
+  bool expired() const {
+    return std::chrono::steady_clock::now() >= Deadline;
+  }
+
+  bool check(const ListOfLists &V, const std::string &Prog) {
+    ++Result.ProgramsTried;
+    if (V != Output)
+      return false;
+    Result.Solved = true;
+    Result.Program = Prog;
+    return true;
+  }
+
+  /// λ²-style deduction for map/projection stages: the output must have
+  /// the same outer length as the current value and every inner list must
+  /// have equal width for a projection to exist.
+  bool projectionFeasible(const ListOfLists &V) const {
+    if (V.size() != Output.size())
+      return false;
+    if (V.empty())
+      return true;
+    size_t W = V.front().size();
+    for (const auto &R : V)
+      if (R.size() != W)
+        return false;
+    return true;
+  }
+
+  /// Stage 2: optional map(proj[...]) — enumerate position lists of the
+  /// output width.
+  bool maps(const ListOfLists &V, const std::string &Prog) {
+    if (check(V, Prog))
+      return true;
+    if (!projectionFeasible(V) || Output.empty())
+      return false;
+    size_t Want = Output.front().size();
+    size_t W = V.empty() ? 0 : V.front().size();
+    if (Want > W)
+      return false; // map cannot invent cells: hard-coded λ² deduction
+    // Enumerate increasing position subsets of size Want.
+    std::vector<size_t> Pick(Want);
+    for (size_t I = 0; I != Want; ++I)
+      Pick[I] = I;
+    while (true) {
+      ListOfLists Mapped;
+      Mapped.reserve(V.size());
+      for (const auto &R : V) {
+        std::vector<Value> NR;
+        NR.reserve(Want);
+        for (size_t I : Pick)
+          NR.push_back(R[I]);
+        Mapped.push_back(std::move(NR));
+      }
+      std::ostringstream OS;
+      OS << "map(" << Prog << ", proj[";
+      for (size_t I = 0; I != Pick.size(); ++I)
+        OS << (I ? "," : "") << Pick[I];
+      OS << "])";
+      if (check(Mapped, OS.str()))
+        return true;
+      if (expired())
+        return false;
+      size_t I = Want;
+      bool Advanced = false;
+      while (I-- > 0) {
+        if (Pick[I] != I + W - Want) {
+          ++Pick[I];
+          for (size_t J = I + 1; J != Want; ++J)
+            Pick[J] = Pick[J - 1] + 1;
+          Advanced = true;
+          break;
+        }
+      }
+      if (!Advanced)
+        return false;
+    }
+  }
+
+  /// Stage 1: optional filter stage; deduction: filters only shrink.
+  bool filters(const ListOfLists &V, const std::string &Prog) {
+    if (maps(V, Prog))
+      return true;
+    if (V.size() <= Output.size() || V.empty())
+      return false;
+    size_t W = V.front().size();
+    for (size_t C = 0; C != W; ++C) {
+      // Constants from the column (λ² draws constants from the examples).
+      std::vector<Value> Consts;
+      for (const auto &R : V) {
+        if (C >= R.size())
+          return false;
+        if (std::find(Consts.begin(), Consts.end(), R[C]) == Consts.end())
+          Consts.push_back(R[C]);
+      }
+      for (int Op = 0; Op != 4; ++Op) {
+        for (const Value &K : Consts) {
+          if (expired())
+            return false;
+          Pred P{C, Op, K};
+          ListOfLists Kept;
+          for (const auto &R : V)
+            if (P.eval(R))
+              Kept.push_back(R);
+          if (Kept.size() == V.size() || Kept.empty())
+            continue;
+          if (maps(Kept, "filter(" + Prog + ", " + P.toString() + ")"))
+            return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+Lambda2Result
+morpheus::synthesizeLambda2(const std::vector<ListOfLists> &Inputs,
+                            const ListOfLists &Output,
+                            std::chrono::milliseconds Timeout) {
+  auto Start = std::chrono::steady_clock::now();
+  Lambda2Result Final;
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    Search S{Inputs[I], Output, Start + Timeout, {}};
+    S.filters(Inputs[I], "x" + std::to_string(I));
+    Final.ProgramsTried += S.Result.ProgramsTried;
+    if (S.Result.Solved) {
+      Final.Solved = true;
+      Final.Program = S.Result.Program;
+      break;
+    }
+    if (S.expired())
+      break;
+  }
+  Final.ElapsedSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Final;
+}

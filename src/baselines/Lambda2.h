@@ -1,0 +1,61 @@
+//===- baselines/Lambda2.h - λ²-style list synthesizer ----------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A λ²-style baseline (Feser et al., PLDI'15): example-driven synthesis of
+/// higher-order functional programs over lists, with hard-coded deductive
+/// rules per combinator. Section 9 evaluates λ² on the 80 table benchmarks
+/// by encoding each table as a list of lists; it solves simple
+/// projection/selection transformations but none of the benchmarks. This
+/// reimplementation supports the combinators the comparison needs:
+///
+///   P  := x | map(P, F) | filter(P, B) | sortBy(P, k) | take(P, k)
+///   F  := proj[k1..kn]  (project inner-list positions)
+///   B  := λrow. row[k] op c
+///
+/// with λ²-style deduction: map preserves outer length, filter shrinks it,
+/// projections preserve inner positions. Anything that must *invent* cells
+/// or restructure across rows (spread/gather/join/aggregates) is outside
+/// the combinator space, which is the point of the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_BASELINES_LAMBDA2_H
+#define MORPHEUS_BASELINES_LAMBDA2_H
+
+#include "table/Table.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// A table encoded as λ² data: rows as lists of cells, headers dropped.
+using ListOfLists = std::vector<std::vector<Value>>;
+
+/// Encodes \p T the way the paper's comparison does.
+ListOfLists encodeAsLists(const Table &T);
+
+/// Result of a λ² run; the program is rendered as text (the baseline's
+/// AST never leaves the module).
+struct Lambda2Result {
+  bool Solved = false;
+  std::string Program;
+  uint64_t ProgramsTried = 0;
+  double ElapsedSeconds = 0;
+};
+
+/// Synthesizes a list program mapping each input (encoded table) to the
+/// output within \p Timeout.
+Lambda2Result synthesizeLambda2(const std::vector<ListOfLists> &Inputs,
+                                const ListOfLists &Output,
+                                std::chrono::milliseconds Timeout);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_BASELINES_LAMBDA2_H

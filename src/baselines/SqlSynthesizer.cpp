@@ -1,0 +1,248 @@
+//===- baselines/SqlSynthesizer.cpp - SPJA query synthesizer -----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SqlSynthesizer.h"
+
+#include "interp/Components.h"
+#include "table/TableUtils.h"
+
+using namespace morpheus;
+
+namespace {
+
+/// Enumeration state shared across the nested query-stage loops.
+struct SqlSearch {
+  const std::vector<Table> &Inputs;
+  const Table &Output;
+  bool OrderedCompare;
+  std::chrono::steady_clock::time_point Deadline;
+  SqlSynthesisResult Result;
+
+  bool expired() {
+    return std::chrono::steady_clock::now() >= Deadline;
+  }
+
+  /// Checks one complete query; returns true when it matches the output.
+  bool tryQuery(const HypPtr &Q) {
+    ++Result.QueriesTried;
+    std::optional<Table> T = Q->evaluate(Inputs);
+    if (!T)
+      return false;
+    bool Equal = OrderedCompare ? T->equalsOrdered(Output)
+                                : T->equalsUnordered(Output);
+    if (!Equal)
+      return false;
+    Result.Program = Q;
+    return true;
+  }
+
+  /// Stage 5 (outermost): optional projection, then optional sort.
+  bool finish(const HypPtr &Q, const Table &T) {
+    if (tryQuery(Q))
+      return true;
+    // Optional final sort stages for order-sensitive outputs.
+    if (OrderedCompare) {
+      const TableTransformer *Arrange =
+          StandardComponents::get().find("arrange");
+      for (const Column &C : T.schema().columns()) {
+        HypPtr Sorted = Hypothesis::apply(
+            Arrange, {Q, Hypothesis::filled(ParamKind::Cols,
+                                            Term::colsLit({C.Name}))});
+        if (tryQuery(Sorted))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  /// Optional projection: only subsets matching the output arity, in
+  /// schema order (SQL column order is explicit in the SELECT list; we
+  /// enumerate order-preserving lists like the original tool).
+  bool projections(const HypPtr &Q, const Table &T) {
+    if (expired())
+      return false;
+    if (finish(Q, T))
+      return true;
+    size_t Want = Output.numCols();
+    if (Want >= T.numCols())
+      return false;
+    // Enumerate all Want-subsets of T's columns in schema order.
+    std::vector<size_t> Pick(Want);
+    for (size_t I = 0; I != Want; ++I)
+      Pick[I] = I;
+    const TableTransformer *Select = StandardComponents::get().find("select");
+    const TableTransformer *Distinct =
+        StandardComponents::get().find("distinct");
+    size_t N = T.numCols();
+    while (true) {
+      std::vector<std::string> Names;
+      for (size_t I : Pick)
+        Names.push_back(T.schema()[I].Name);
+      HypPtr Projected = Hypothesis::apply(
+          Select,
+          {Q, Hypothesis::filled(ParamKind::Cols, Term::colsLit(Names))});
+      std::optional<Table> PT = Projected->evaluate(Inputs);
+      if (PT) {
+        if (finish(Projected, *PT))
+          return true;
+        // SELECT DISTINCT variant.
+        HypPtr Unique = Hypothesis::apply(Distinct, {Projected});
+        if (tryQuery(Unique))
+          return true;
+      }
+      if (expired())
+        return false;
+      size_t I = Want;
+      bool Advanced = false;
+      while (I-- > 0) {
+        if (Pick[I] != I + N - Want) {
+          ++Pick[I];
+          for (size_t J = I + 1; J != Want; ++J)
+            Pick[J] = Pick[J - 1] + 1;
+          Advanced = true;
+          break;
+        }
+      }
+      if (!Advanced)
+        return false;
+    }
+  }
+
+  /// Optional GROUP BY + aggregate stage.
+  bool aggregates(const HypPtr &Q, const Table &T) {
+    if (projections(Q, T))
+      return true;
+    // Aggregate output column name: an output header that is not a column
+    // of the source (the "AS name" of the query).
+    std::vector<std::string> AggNames;
+    for (const Column &C : Output.schema().columns())
+      if (!T.schema().contains(C.Name))
+        AggNames.push_back(C.Name);
+    if (AggNames.empty())
+      return false;
+    const TableTransformer *GroupBy = StandardComponents::get().find("group_by");
+    const TableTransformer *Summarise =
+        StandardComponents::get().find("summarise");
+    const auto &Aggs = StandardValueOps::get();
+    // Group columns: the output columns that exist in the source, in
+    // schema order (SQL's GROUP BY list is determined by the SELECT list).
+    std::vector<std::string> GroupCols;
+    for (const Column &C : Output.schema().columns())
+      if (T.schema().contains(C.Name))
+        GroupCols.push_back(C.Name);
+    if (GroupCols.empty() || GroupCols.size() >= T.numCols())
+      return false;
+    HypPtr Grouped = Hypothesis::apply(
+        GroupBy,
+        {Q, Hypothesis::filled(ParamKind::Cols, Term::colsLit(GroupCols))});
+    for (const std::string &Name : AggNames) {
+      for (const char *Fn : {"n", "sum", "mean", "min", "max"}) {
+        const ValueTransformer *Agg = Aggs.find(Fn);
+        if (std::string(Fn) == "n") {
+          HypPtr Query = Hypothesis::apply(
+              Summarise, {Grouped,
+                          Hypothesis::filled(ParamKind::NewName,
+                                             Term::nameLit(Name)),
+                          Hypothesis::filled(ParamKind::Agg,
+                                             Term::app(Agg, {}))});
+          std::optional<Table> QT = Query->evaluate(Inputs);
+          if (QT && projections(Query, *QT))
+            return true;
+          continue;
+        }
+        for (const Column &C : T.schema().columns()) {
+          if (C.Type != CellType::Num)
+            continue;
+          HypPtr Query = Hypothesis::apply(
+              Summarise,
+              {Grouped,
+               Hypothesis::filled(ParamKind::NewName, Term::nameLit(Name)),
+               Hypothesis::filled(ParamKind::Agg,
+                                  Term::app(Agg, {Term::colRef(C.Name)}))});
+          std::optional<Table> QT = Query->evaluate(Inputs);
+          if (QT && projections(Query, *QT))
+            return true;
+          if (expired())
+            return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Optional WHERE stage over source \p Q with concrete table \p T.
+  bool selections(const HypPtr &Q, const Table &T) {
+    if (aggregates(Q, T))
+      return true;
+    const TableTransformer *Filter = StandardComponents::get().find("filter");
+    const auto &Ops = StandardValueOps::get();
+    for (const Column &C : T.schema().columns()) {
+      for (const char *OpName : {"==", "!=", "<", ">", "<=", ">="}) {
+        if (C.Type == CellType::Str && OpName[0] != '=' && OpName[0] != '!')
+          continue;
+        const ValueTransformer *Op = Ops.find(OpName);
+        for (const Value &V : distinctColumnValues(T, C.Name)) {
+          if (expired())
+            return false;
+          HypPtr Query = Hypothesis::apply(
+              Filter,
+              {Q, Hypothesis::filled(
+                      ParamKind::Pred,
+                      Term::app(Op, {Term::colRef(C.Name),
+                                     Term::constant(V)}))});
+          std::optional<Table> QT = Query->evaluate(Inputs);
+          if (!QT || QT->numRows() == T.numRows() || QT->numRows() == 0)
+            continue;
+          if (aggregates(Query, *QT))
+            return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// FROM stage: each input, then each natural join of two inputs.
+  bool run() {
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      if (selections(Hypothesis::input(I), Inputs[I]))
+        return true;
+      if (expired())
+        return false;
+    }
+    const TableTransformer *Join = StandardComponents::get().find("inner_join");
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      for (size_t J = 0; J != Inputs.size(); ++J) {
+        if (I == J)
+          continue;
+        HypPtr Query =
+            Hypothesis::apply(Join, {Hypothesis::input(I),
+                                     Hypothesis::input(J)});
+        std::optional<Table> QT = Query->evaluate(Inputs);
+        if (QT && selections(Query, *QT))
+          return true;
+        if (expired())
+          return false;
+      }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+SqlSynthesisResult
+morpheus::synthesizeSql(const std::vector<Table> &Inputs, const Table &Output,
+                        std::chrono::milliseconds Timeout,
+                        bool OrderedCompare) {
+  auto Start = std::chrono::steady_clock::now();
+  SqlSearch Search{Inputs, Output, OrderedCompare, Start + Timeout, {}};
+  Search.run();
+  Search.Result.TimedOut = Search.expired() && !Search.Result.Program;
+  Search.Result.ElapsedSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Search.Result;
+}

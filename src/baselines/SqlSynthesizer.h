@@ -1,0 +1,50 @@
+//===- baselines/SqlSynthesizer.h - SPJA query synthesizer ------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the SQLSynthesizer baseline (Zhang & Sun, ASE'13)
+/// used in the Figure 18 comparison: an example-driven synthesizer for a
+/// *fixed* DSL of select-project-join-aggregate queries
+///
+///   Q := π_cols? ( sort? ( distinct? ( γ_{groupCols, agg}? (
+///        σ_pred? ( T | T1 ⋈ T2 )))))
+///
+/// In contrast to MORPHEUS it is not component-parametric: the query shape
+/// is hard-wired, which is exactly why it cannot express the reshaping
+/// (gather/spread/separate/unite) tasks of the 80-benchmark suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_BASELINES_SQLSYNTHESIZER_H
+#define MORPHEUS_BASELINES_SQLSYNTHESIZER_H
+
+#include "lang/Hypothesis.h"
+
+#include <chrono>
+
+namespace morpheus {
+
+/// Result of one SQLSynthesizer run.
+struct SqlSynthesisResult {
+  HypPtr Program; ///< the query, expressed over the standard components
+  uint64_t QueriesTried = 0;
+  double ElapsedSeconds = 0;
+  bool TimedOut = false;
+
+  explicit operator bool() const { return Program != nullptr; }
+};
+
+/// Enumerates SPJA queries over \p Inputs until one reproduces \p Output
+/// or the timeout expires. \p OrderedCompare matches tasks whose expected
+/// output is order-sensitive (the query then needs a sort stage).
+SqlSynthesisResult
+synthesizeSql(const std::vector<Table> &Inputs, const Table &Output,
+              std::chrono::milliseconds Timeout,
+              bool OrderedCompare = false);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_BASELINES_SQLSYNTHESIZER_H

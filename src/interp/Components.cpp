@@ -1,0 +1,654 @@
+//===- interp/Components.cpp - tidyr/dplyr table transformers ----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+
+#include "spec/StdSpecs.h"
+#include "table/TableUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+using namespace morpheus;
+
+namespace {
+
+/// Extracts the literal column list from a ColsLit term; nullopt otherwise.
+std::optional<std::vector<std::string>> colsOf(const TermPtr &T) {
+  if (!T || T->K != Term::Kind::ColsLit)
+    return std::nullopt;
+  return T->Cols;
+}
+
+/// Extracts a single column/new-column name.
+std::optional<std::string> nameOf(const TermPtr &T) {
+  if (!T)
+    return std::nullopt;
+  if (T->K == Term::Kind::NameLit || T->K == Term::Kind::ColRef)
+    return T->Name;
+  return std::nullopt;
+}
+
+/// Checks that every name in \p Cols is a distinct column of \p T.
+bool allDistinctColumns(const Table &T, const std::vector<std::string> &Cols) {
+  if (Cols.empty())
+    return false;
+  std::set<std::string> Seen;
+  for (const std::string &C : Cols) {
+    if (!T.schema().contains(C) || !Seen.insert(C).second)
+      return false;
+  }
+  return true;
+}
+
+/// Grouping-aware per-row evaluation helper: maps each row index to the row
+/// indices of its group.
+std::vector<const std::vector<size_t> *>
+rowToGroup(const Table &T, const std::vector<std::vector<size_t>> &Groups) {
+  std::vector<const std::vector<size_t> *> Map(T.numRows(), nullptr);
+  for (const std::vector<size_t> &G : Groups)
+    for (size_t R : G)
+      Map[R] = &G;
+  return Map;
+}
+
+/// A table transformer defined by a lambda; all standard components use it.
+class LambdaTransformer final : public TableTransformer {
+public:
+  using ApplyFn = std::function<std::optional<Table>(
+      const std::vector<Table> &, const std::vector<TermPtr> &)>;
+
+  LambdaTransformer(std::string Name, unsigned NumTableArgs,
+                    std::vector<ParamKind> Params, ApplyFn Fn)
+      : TableTransformer(std::move(Name), NumTableArgs, std::move(Params)),
+        Fn(std::move(Fn)) {}
+
+  std::optional<Table>
+  apply(const std::vector<Table> &Tables,
+        const std::vector<TermPtr> &Args) const override {
+    if (Tables.size() != numTableArgs() || Args.size() != valueParams().size())
+      return std::nullopt;
+    return Fn(Tables, Args);
+  }
+
+private:
+  ApplyFn Fn;
+};
+
+//===----------------------------------------------------------------------===//
+// tidyr verbs
+//===----------------------------------------------------------------------===//
+
+std::optional<Table> applyGather(const Table &T, const std::string &KeyName,
+                                 const std::string &ValName,
+                                 const std::vector<std::string> &GatherCols) {
+  if (!allDistinctColumns(T, GatherCols) || GatherCols.size() < 2 ||
+      GatherCols.size() > T.numCols())
+    return std::nullopt;
+  if (T.schema().contains(KeyName) || T.schema().contains(ValName) ||
+      KeyName == ValName)
+    return std::nullopt;
+
+  std::set<std::string> Gathered(GatherCols.begin(), GatherCols.end());
+  std::vector<size_t> KeepIdx, GatherIdx;
+  for (size_t I = 0; I != T.numCols(); ++I) {
+    if (Gathered.count(T.schema()[I].Name))
+      GatherIdx.push_back(I);
+    else
+      KeepIdx.push_back(I);
+  }
+
+  // Value column type: common type of the gathered columns, coercing to
+  // string when mixed (tidyr coerces to character).
+  bool Mixed = false;
+  CellType ValType = T.schema()[GatherIdx.front()].Type;
+  for (size_t I : GatherIdx)
+    if (T.schema()[I].Type != ValType)
+      Mixed = true;
+  if (Mixed)
+    ValType = CellType::Str;
+
+  std::vector<Column> Cols;
+  for (size_t I : KeepIdx)
+    Cols.push_back(T.schema()[I]);
+  Cols.push_back({KeyName, CellType::Str});
+  Cols.push_back({ValName, ValType});
+
+  std::vector<Row> Rows;
+  Rows.reserve(T.numRows() * GatherIdx.size());
+  for (const Row &R : T.rows()) {
+    for (size_t G : GatherIdx) {
+      Row Out;
+      Out.reserve(Cols.size());
+      for (size_t I : KeepIdx)
+        Out.push_back(R[I]);
+      Out.push_back(Value::str(T.schema()[G].Name));
+      Out.push_back(Mixed ? Value::str(R[G].toString()) : R[G]);
+      Rows.push_back(std::move(Out));
+    }
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+std::optional<Table> applySpread(const Table &T, const std::string &Key,
+                                 const std::string &Val) {
+  std::optional<size_t> KeyIdx = T.schema().indexOf(Key);
+  std::optional<size_t> ValIdx = T.schema().indexOf(Val);
+  if (!KeyIdx || !ValIdx || *KeyIdx == *ValIdx || T.numRows() == 0)
+    return std::nullopt;
+
+  std::vector<size_t> IdIdx;
+  for (size_t I = 0; I != T.numCols(); ++I)
+    if (I != *KeyIdx && I != *ValIdx)
+      IdIdx.push_back(I);
+
+  // Distinct key values become columns, in sorted order (tidyr sorts).
+  std::set<std::string> KeyNames;
+  for (const Row &R : T.rows())
+    KeyNames.insert(R[*KeyIdx].toString());
+  // New columns must not collide with surviving columns.
+  for (const std::string &K : KeyNames)
+    for (size_t I : IdIdx)
+      if (T.schema()[I].Name == K)
+        return std::nullopt;
+
+  std::vector<Column> Cols;
+  for (size_t I : IdIdx)
+    Cols.push_back(T.schema()[I]);
+  std::map<std::string, size_t> KeyToCol;
+  for (const std::string &K : KeyNames) {
+    KeyToCol[K] = Cols.size();
+    Cols.push_back({K, T.schema()[*ValIdx].Type});
+  }
+
+  // Group rows by the id columns, in first-appearance order.
+  std::map<std::string, size_t> GroupOf;
+  std::vector<Row> Rows;
+  std::vector<std::vector<bool>> Filled;
+  for (const Row &R : T.rows()) {
+    std::string GroupKey;
+    for (size_t I : IdIdx) {
+      GroupKey += R[I].toString();
+      GroupKey += '\x1f';
+    }
+    auto [It, Inserted] = GroupOf.try_emplace(GroupKey, Rows.size());
+    if (Inserted) {
+      Row NewRow(Cols.size());
+      for (size_t J = 0; J != IdIdx.size(); ++J)
+        NewRow[J] = R[IdIdx[J]];
+      Rows.push_back(std::move(NewRow));
+      Filled.emplace_back(Cols.size(), false);
+    }
+    size_t RowI = It->second;
+    size_t ColI = KeyToCol[R[*KeyIdx].toString()];
+    if (Filled[RowI][ColI])
+      return std::nullopt; // duplicate key within a group
+    Rows[RowI][ColI] = R[*ValIdx];
+    Filled[RowI][ColI] = true;
+  }
+  // Every (group, key) combination must be present (no NA cells).
+  for (const std::vector<bool> &F : Filled)
+    for (size_t C = IdIdx.size(); C != Cols.size(); ++C)
+      if (!F[C])
+        return std::nullopt;
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+std::optional<Table> applySeparate(const Table &T, const std::string &Col,
+                                   const std::string &Into1,
+                                   const std::string &Into2) {
+  std::optional<size_t> Idx = T.schema().indexOf(Col);
+  if (!Idx || T.schema()[*Idx].Type != CellType::Str)
+    return std::nullopt;
+  if (Into1 == Into2)
+    return std::nullopt;
+  for (size_t I = 0; I != T.numCols(); ++I) {
+    if (I == *Idx)
+      continue;
+    if (T.schema()[I].Name == Into1 || T.schema()[I].Name == Into2)
+      return std::nullopt;
+  }
+
+  // Split each cell at its first non-alphanumeric character (tidyr default
+  // separator behaviour); every cell must split into exactly two pieces.
+  auto Split = [](const std::string &S)
+      -> std::optional<std::pair<std::string, std::string>> {
+    for (size_t I = 0; I != S.size(); ++I) {
+      if (!std::isalnum(static_cast<unsigned char>(S[I])) && S[I] != '.') {
+        if (I == 0 || I + 1 == S.size())
+          return std::nullopt;
+        return std::make_pair(S.substr(0, I), S.substr(I + 1));
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Column> Cols;
+  for (size_t I = 0; I != T.numCols(); ++I) {
+    if (I == *Idx) {
+      Cols.push_back({Into1, CellType::Str});
+      Cols.push_back({Into2, CellType::Str});
+    } else {
+      Cols.push_back(T.schema()[I]);
+    }
+  }
+  std::vector<Row> Rows;
+  Rows.reserve(T.numRows());
+  for (const Row &R : T.rows()) {
+    Row Out;
+    Out.reserve(Cols.size());
+    for (size_t I = 0; I != T.numCols(); ++I) {
+      if (I == *Idx) {
+        auto Pieces = Split(R[I].strVal());
+        if (!Pieces)
+          return std::nullopt;
+        Out.push_back(Value::str(Pieces->first));
+        Out.push_back(Value::str(Pieces->second));
+      } else {
+        Out.push_back(R[I]);
+      }
+    }
+    Rows.push_back(std::move(Out));
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+std::optional<Table> applyUnite(const Table &T, const std::string &NewName,
+                                const std::string &C1, const std::string &C2) {
+  std::optional<size_t> I1 = T.schema().indexOf(C1);
+  std::optional<size_t> I2 = T.schema().indexOf(C2);
+  if (!I1 || !I2 || *I1 == *I2)
+    return std::nullopt;
+  for (size_t I = 0; I != T.numCols(); ++I)
+    if (I != *I1 && I != *I2 && T.schema()[I].Name == NewName)
+      return std::nullopt;
+
+  std::vector<Column> Cols;
+  for (size_t I = 0; I != T.numCols(); ++I) {
+    if (I == *I1)
+      Cols.push_back({NewName, CellType::Str});
+    else if (I != *I2)
+      Cols.push_back(T.schema()[I]);
+  }
+  std::vector<Row> Rows;
+  Rows.reserve(T.numRows());
+  for (const Row &R : T.rows()) {
+    Row Out;
+    Out.reserve(Cols.size());
+    for (size_t I = 0; I != T.numCols(); ++I) {
+      if (I == *I1)
+        Out.push_back(
+            Value::str(R[*I1].toString() + "_" + R[*I2].toString()));
+      else if (I != *I2)
+        Out.push_back(R[I]);
+    }
+    Rows.push_back(std::move(Out));
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+//===----------------------------------------------------------------------===//
+// dplyr verbs
+//===----------------------------------------------------------------------===//
+
+std::optional<Table> applySelect(const Table &T,
+                                 const std::vector<std::string> &Cols) {
+  if (!allDistinctColumns(T, Cols))
+    return std::nullopt;
+  std::vector<Column> NewCols;
+  std::vector<size_t> Idx;
+  for (const std::string &C : Cols) {
+    size_t I = *T.schema().indexOf(C);
+    NewCols.push_back(T.schema()[I]);
+    Idx.push_back(I);
+  }
+  std::vector<Row> Rows;
+  Rows.reserve(T.numRows());
+  for (const Row &R : T.rows()) {
+    Row Out;
+    Out.reserve(Idx.size());
+    for (size_t I : Idx)
+      Out.push_back(R[I]);
+    Rows.push_back(std::move(Out));
+  }
+  Table Result(Schema(std::move(NewCols)), std::move(Rows));
+  // Grouping columns that survive the projection stay grouping columns.
+  std::vector<std::string> Groups;
+  for (const std::string &G : T.groupCols())
+    if (Result.schema().contains(G))
+      Groups.push_back(G);
+  Result.setGroupCols(std::move(Groups));
+  return Result;
+}
+
+std::optional<Table> applyFilter(const Table &T, const TermPtr &Pred) {
+  if (!Pred)
+    return std::nullopt;
+  auto Groups = T.groupedRowIndices();
+  auto GroupMap = rowToGroup(T, Groups);
+  std::vector<Row> Rows;
+  for (size_t R = 0; R != T.numRows(); ++R) {
+    EvalContext Ctx{&T, &T.rows()[R], GroupMap[R]};
+    std::optional<Value> V = evalTerm(*Pred, Ctx);
+    if (!V)
+      return std::nullopt;
+    if (isTruthy(*V))
+      Rows.push_back(T.rows()[R]);
+  }
+  Table Result(T.schema(), std::move(Rows));
+  Result.setGroupCols(T.groupCols());
+  return Result;
+}
+
+std::optional<Table> applyGroupBy(const Table &T,
+                                  const std::vector<std::string> &Cols) {
+  if (!allDistinctColumns(T, Cols) || Cols.size() >= T.numCols())
+    return std::nullopt;
+  if (T.isGrouped())
+    return std::nullopt; // regrouping a grouped frame is never needed
+  Table Result = T;
+  Result.setGroupCols(Cols);
+  return Result;
+}
+
+std::optional<Table> applySummarise(const Table &T, const std::string &NewName,
+                                    const TermPtr &Agg) {
+  if (!Agg || Agg->K != Term::Kind::App || !Agg->Fn->isAggregate())
+    return std::nullopt;
+  std::vector<size_t> KeyIdx;
+  for (const std::string &G : T.groupCols()) {
+    std::optional<size_t> I = T.schema().indexOf(G);
+    if (!I)
+      return std::nullopt;
+    KeyIdx.push_back(*I);
+  }
+  for (size_t I : KeyIdx)
+    if (T.schema()[I].Name == NewName)
+      return std::nullopt;
+
+  std::vector<Column> Cols;
+  for (size_t I : KeyIdx)
+    Cols.push_back(T.schema()[I]);
+  Cols.push_back({NewName, CellType::Num});
+
+  std::vector<Row> Rows;
+  for (const std::vector<size_t> &G : T.groupedRowIndices()) {
+    if (G.empty())
+      continue;
+    EvalContext Ctx{&T, &T.rows()[G.front()], &G};
+    std::optional<Value> V = evalTerm(*Agg, Ctx);
+    if (!V)
+      return std::nullopt;
+    Row Out;
+    Out.reserve(Cols.size());
+    for (size_t I : KeyIdx)
+      Out.push_back(T.rows()[G.front()][I]);
+    Out.push_back(std::move(*V));
+    Rows.push_back(std::move(Out));
+  }
+  Table Result(Schema(std::move(Cols)), std::move(Rows));
+  // dplyr drops the last grouping level after summarise.
+  std::vector<std::string> Remaining = T.groupCols();
+  if (!Remaining.empty())
+    Remaining.pop_back();
+  Result.setGroupCols(std::move(Remaining));
+  return Result;
+}
+
+std::optional<Table> applyMutate(const Table &T, const std::string &NewName,
+                                 const TermPtr &Expr) {
+  if (!Expr || T.schema().contains(NewName) || T.numRows() == 0)
+    return std::nullopt;
+  auto Groups = T.groupedRowIndices();
+  auto GroupMap = rowToGroup(T, Groups);
+  Schema NewSchema = T.schema();
+  NewSchema.append({NewName, CellType::Num});
+  std::vector<Row> Rows = T.rows();
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    EvalContext Ctx{&T, &T.rows()[R], GroupMap[R]};
+    std::optional<Value> V = evalTerm(*Expr, Ctx);
+    if (!V || !V->isNum())
+      return std::nullopt;
+    Rows[R].push_back(std::move(*V));
+  }
+  Table Result(std::move(NewSchema), std::move(Rows));
+  Result.setGroupCols(T.groupCols());
+  return Result;
+}
+
+std::optional<Table> applyInnerJoin(const Table &A, const Table &B) {
+  // Natural join on all shared column names; types must agree.
+  std::vector<std::pair<size_t, size_t>> Shared;
+  for (size_t I = 0; I != A.numCols(); ++I) {
+    std::optional<size_t> J = B.schema().indexOf(A.schema()[I].Name);
+    if (!J)
+      continue;
+    if (A.schema()[I].Type != B.schema()[*J].Type)
+      return std::nullopt;
+    Shared.emplace_back(I, *J);
+  }
+  if (Shared.empty() || Shared.size() == A.numCols())
+    return std::nullopt;
+
+  std::vector<size_t> BOnly;
+  for (size_t J = 0; J != B.numCols(); ++J) {
+    bool IsShared = false;
+    for (auto [I, SJ] : Shared)
+      if (SJ == J)
+        IsShared = true;
+    if (!IsShared)
+      BOnly.push_back(J);
+  }
+
+  std::vector<Column> Cols(A.schema().columns());
+  for (size_t J : BOnly)
+    Cols.push_back(B.schema()[J]);
+
+  std::vector<Row> Rows;
+  for (const Row &RA : A.rows()) {
+    for (const Row &RB : B.rows()) {
+      bool Match = true;
+      for (auto [I, J] : Shared)
+        if (!(RA[I] == RB[J]))
+          Match = false;
+      if (!Match)
+        continue;
+      Row Out = RA;
+      for (size_t J : BOnly)
+        Out.push_back(RB[J]);
+      Rows.push_back(std::move(Out));
+    }
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+std::optional<Table> applyArrange(const Table &T,
+                                  const std::vector<std::string> &Cols) {
+  if (!allDistinctColumns(T, Cols))
+    return std::nullopt;
+  std::vector<size_t> Idx;
+  for (const std::string &C : Cols)
+    Idx.push_back(*T.schema().indexOf(C));
+  Table Result = T;
+  std::stable_sort(Result.rows().begin(), Result.rows().end(),
+                   [&](const Row &A, const Row &B) {
+                     for (size_t I : Idx) {
+                       if (A[I] < B[I])
+                         return true;
+                       if (B[I] < A[I])
+                         return false;
+                     }
+                     return false;
+                   });
+  return Result;
+}
+
+std::optional<Table> applyDistinct(const Table &T) {
+  std::vector<Row> Rows;
+  std::set<std::string> Seen;
+  for (const Row &R : T.rows()) {
+    std::string Key;
+    for (const Value &V : R) {
+      Key += V.toString();
+      Key += '\x1f';
+    }
+    if (Seen.insert(Key).second)
+      Rows.push_back(R);
+  }
+  if (Rows.size() == T.numRows())
+    return std::nullopt; // a no-op distinct is never needed
+  return Table(T.schema(), std::move(Rows));
+}
+
+} // namespace
+
+StandardComponents::StandardComponents() {
+  auto Add = [&](std::string Name, unsigned NumTables,
+                 std::vector<ParamKind> Params,
+                 LambdaTransformer::ApplyFn Fn) {
+    Storage.push_back(std::make_unique<LambdaTransformer>(
+        std::move(Name), NumTables, std::move(Params), std::move(Fn)));
+    All.push_back(Storage.back().get());
+  };
+
+  Add("gather", 1, {ParamKind::NewName, ParamKind::NewName, ParamKind::Cols},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Key = nameOf(A[0]), Val = nameOf(A[1]);
+        auto Cols = colsOf(A[2]);
+        if (!Key || !Val || !Cols)
+          return std::nullopt;
+        return applyGather(T[0], *Key, *Val, *Cols);
+      });
+
+  Add("spread", 1, {ParamKind::ColName, ParamKind::ColName},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Key = nameOf(A[0]), Val = nameOf(A[1]);
+        if (!Key || !Val)
+          return std::nullopt;
+        return applySpread(T[0], *Key, *Val);
+      });
+
+  Add("separate", 1,
+      {ParamKind::ColName, ParamKind::NewName, ParamKind::NewName},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Col = nameOf(A[0]), I1 = nameOf(A[1]), I2 = nameOf(A[2]);
+        if (!Col || !I1 || !I2)
+          return std::nullopt;
+        return applySeparate(T[0], *Col, *I1, *I2);
+      });
+
+  Add("unite", 1, {ParamKind::NewName, ParamKind::ColName, ParamKind::ColName},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto NN = nameOf(A[0]), C1 = nameOf(A[1]), C2 = nameOf(A[2]);
+        if (!NN || !C1 || !C2)
+          return std::nullopt;
+        return applyUnite(T[0], *NN, *C1, *C2);
+      });
+
+  Add("select", 1, {ParamKind::ColsOrdered},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Cols = colsOf(A[0]);
+        if (!Cols)
+          return std::nullopt;
+        return applySelect(T[0], *Cols);
+      });
+
+  Add("filter", 1, {ParamKind::Pred},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A) {
+        return applyFilter(T[0], A[0]);
+      });
+
+  Add("summarise", 1, {ParamKind::NewName, ParamKind::Agg},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto NN = nameOf(A[0]);
+        if (!NN)
+          return std::nullopt;
+        return applySummarise(T[0], *NN, A[1]);
+      });
+
+  Add("group_by", 1, {ParamKind::Cols},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Cols = colsOf(A[0]);
+        if (!Cols)
+          return std::nullopt;
+        return applyGroupBy(T[0], *Cols);
+      });
+
+  Add("mutate", 1, {ParamKind::NewName, ParamKind::NumExpr},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto NN = nameOf(A[0]);
+        if (!NN)
+          return std::nullopt;
+        return applyMutate(T[0], *NN, A[1]);
+      });
+
+  Add("inner_join", 2, {},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &) {
+        return applyInnerJoin(T[0], T[1]);
+      });
+
+  Add("arrange", 1, {ParamKind::ColsOrdered},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &A)
+          -> std::optional<Table> {
+        auto Cols = colsOf(A[0]);
+        if (!Cols)
+          return std::nullopt;
+        return applyArrange(T[0], *Cols);
+      });
+
+  Add("distinct", 1, {},
+      [](const std::vector<Table> &T, const std::vector<TermPtr> &) {
+        return applyDistinct(T[0]);
+      });
+
+  std::vector<TableTransformer *> Mutable;
+  Mutable.reserve(Storage.size());
+  for (const std::unique_ptr<TableTransformer> &T : Storage)
+    Mutable.push_back(T.get());
+  attachStandardSpecs(Mutable);
+}
+
+const StandardComponents &StandardComponents::get() {
+  static StandardComponents Instance;
+  return Instance;
+}
+
+const TableTransformer *
+StandardComponents::find(std::string_view Name) const {
+  for (const TableTransformer *T : All)
+    if (T->name() == Name)
+      return T;
+  return nullptr;
+}
+
+ComponentLibrary StandardComponents::tidyDplyr() const {
+  ComponentLibrary Lib;
+  for (const char *Name :
+       {"gather", "spread", "separate", "unite", "select", "filter",
+        "summarise", "group_by", "mutate", "inner_join", "arrange"})
+    Lib.TableTransformers.push_back(find(Name));
+  Lib.ValueTransformers = StandardValueOps::get().all();
+  return Lib;
+}
+
+ComponentLibrary StandardComponents::sqlRelevant() const {
+  ComponentLibrary Lib;
+  for (const char *Name : {"select", "filter", "group_by", "summarise",
+                           "mutate", "inner_join", "arrange", "distinct"})
+    Lib.TableTransformers.push_back(find(Name));
+  Lib.ValueTransformers = StandardValueOps::get().all();
+  return Lib;
+}

@@ -1,0 +1,62 @@
+//===- interp/Components.h - tidyr/dplyr table transformers -----*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native implementations of the higher-order components ΛT used in the
+/// paper's evaluation (Section 9 and Appendix A): the tidyr verbs `gather`,
+/// `spread`, `separate`, `unite` and the dplyr verbs `select`, `filter`,
+/// `summarise`, `group_by`, `mutate`, `inner_join`, plus `arrange` (used by
+/// motivating Example 3) and `distinct` (an SQL-flavoured extension).
+///
+/// These substitute for the R interpreter the original tool shells out to;
+/// see DESIGN.md §1. Semantics follow the documented tidyr/dplyr behaviour
+/// restricted to the paper's num/string cell domain; operations that would
+/// produce NA cells (e.g. spread with missing key combinations) fail the
+/// candidate instead, keeping the cell domain total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_INTERP_COMPONENTS_H
+#define MORPHEUS_INTERP_COMPONENTS_H
+
+#include "interp/ValueOps.h"
+#include "lang/Component.h"
+
+#include <memory>
+
+namespace morpheus {
+
+/// Owns the standard table transformers and exposes the component
+/// libraries used by the experiments.
+class StandardComponents {
+public:
+  static const StandardComponents &get();
+
+  /// All standard table transformers (12).
+  const std::vector<const TableTransformer *> &all() const { return All; }
+
+  /// The paper's main evaluation library: ten tidyr/dplyr components plus
+  /// `arrange` (motivating Example 3 needs it), with standard value
+  /// transformers.
+  ComponentLibrary tidyDplyr() const;
+
+  /// The eight SQL-relevant higher-order components used in the
+  /// SQLSynthesizer comparison (Figure 18): select, filter, group_by,
+  /// summarise, mutate, inner_join, arrange, distinct.
+  ComponentLibrary sqlRelevant() const;
+
+  const TableTransformer *find(std::string_view Name) const;
+
+private:
+  StandardComponents();
+
+  std::vector<std::unique_ptr<TableTransformer>> Storage;
+  std::vector<const TableTransformer *> All;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_INTERP_COMPONENTS_H

@@ -1,0 +1,203 @@
+//===- interp/ValueOps.cpp - Standard value transformers ---------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ValueOps.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace morpheus;
+
+namespace {
+
+Value boolVal(bool B) { return Value::number(B ? 1 : 0); }
+
+/// Comparison semantics: equality works on both cell types; orderings work
+/// on matching types (strings lexicographically, like R). Mismatched types
+/// yield nullopt and abort the candidate.
+std::optional<Value> compare(const Value &A, const Value &B,
+                             int WantSign, bool AllowEq, bool Negate) {
+  if (A.type() != B.type())
+    return std::nullopt;
+  bool Lt = A < B, Gt = B < A;
+  bool Eq = !Lt && !Gt;
+  bool Res;
+  if (WantSign == 0)
+    Res = Eq;
+  else if (WantSign < 0)
+    Res = Lt || (AllowEq && Eq);
+  else
+    Res = Gt || (AllowEq && Eq);
+  return boolVal(Negate ? !Res : Res);
+}
+
+std::optional<double> asNum(const Value &V) {
+  if (!V.isNum())
+    return std::nullopt;
+  return V.num();
+}
+
+std::optional<Value> numericColumn(const std::vector<Value> &Col,
+                                   std::optional<Value> (*Reduce)(
+                                       const std::vector<double> &)) {
+  if (Col.empty())
+    return std::nullopt;
+  std::vector<double> Nums;
+  Nums.reserve(Col.size());
+  for (const Value &V : Col) {
+    std::optional<double> N = asNum(V);
+    if (!N)
+      return std::nullopt;
+    Nums.push_back(*N);
+  }
+  return Reduce(Nums);
+}
+
+} // namespace
+
+StandardValueOps::StandardValueOps() {
+  Storage.reserve(20);
+  auto AddScalar = [&](std::string Name, unsigned Arity, CellType RT,
+                       ValueTransformer::ScalarFn Fn, bool Infix) {
+    Storage.emplace_back(std::move(Name), Arity, RT, std::move(Fn), Infix);
+  };
+
+  // Comparisons (booleans as num 0/1).
+  AddScalar(">", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], 1, false, false);
+            },
+            /*Infix=*/true);
+  AddScalar("<", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], -1, false, false);
+            },
+            true);
+  AddScalar(">=", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], 1, true, false);
+            },
+            true);
+  AddScalar("<=", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], -1, true, false);
+            },
+            true);
+  AddScalar("==", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], 0, false, false);
+            },
+            true);
+  AddScalar("!=", 2, CellType::Num,
+            [](const std::vector<Value> &A) {
+              return compare(A[0], A[1], 0, false, true);
+            },
+            true);
+
+  // Arithmetic over num cells.
+  AddScalar("+", 2, CellType::Num,
+            [](const std::vector<Value> &A) -> std::optional<Value> {
+              auto X = asNum(A[0]), Y = asNum(A[1]);
+              if (!X || !Y)
+                return std::nullopt;
+              return Value::number(*X + *Y);
+            },
+            true);
+  AddScalar("-", 2, CellType::Num,
+            [](const std::vector<Value> &A) -> std::optional<Value> {
+              auto X = asNum(A[0]), Y = asNum(A[1]);
+              if (!X || !Y)
+                return std::nullopt;
+              return Value::number(*X - *Y);
+            },
+            true);
+  AddScalar("*", 2, CellType::Num,
+            [](const std::vector<Value> &A) -> std::optional<Value> {
+              auto X = asNum(A[0]), Y = asNum(A[1]);
+              if (!X || !Y)
+                return std::nullopt;
+              return Value::number(*X * *Y);
+            },
+            true);
+  AddScalar("/", 2, CellType::Num,
+            [](const std::vector<Value> &A) -> std::optional<Value> {
+              auto X = asNum(A[0]), Y = asNum(A[1]);
+              if (!X || !Y || *Y == 0)
+                return std::nullopt;
+              return Value::number(*X / *Y);
+            },
+            true);
+
+  // Aggregates over a column of the current group.
+  auto AddAgg = [&](std::string Name, unsigned Arity,
+                    ValueTransformer::AggregateFn Fn) {
+    Storage.push_back(ValueTransformer::makeAggregate(std::move(Name), Arity,
+                                                      std::move(Fn)));
+  };
+  AddAgg("sum", 1, [](const std::vector<Value> &C) {
+    return numericColumn(C, +[](const std::vector<double> &N) {
+      return std::optional<Value>(
+          Value::number(std::accumulate(N.begin(), N.end(), 0.0)));
+    });
+  });
+  AddAgg("mean", 1, [](const std::vector<Value> &C) {
+    return numericColumn(C, +[](const std::vector<double> &N) {
+      return std::optional<Value>(Value::number(
+          std::accumulate(N.begin(), N.end(), 0.0) / double(N.size())));
+    });
+  });
+  AddAgg("min", 1, [](const std::vector<Value> &C) {
+    return numericColumn(C, +[](const std::vector<double> &N) {
+      return std::optional<Value>(
+          Value::number(*std::min_element(N.begin(), N.end())));
+    });
+  });
+  AddAgg("max", 1, [](const std::vector<Value> &C) {
+    return numericColumn(C, +[](const std::vector<double> &N) {
+      return std::optional<Value>(
+          Value::number(*std::max_element(N.begin(), N.end())));
+    });
+  });
+  AddAgg("n", 0, [](const std::vector<Value> &C) -> std::optional<Value> {
+    return Value::number(double(C.size()));
+  });
+
+  for (const ValueTransformer &VT : Storage) {
+    All.push_back(&VT);
+    if (VT.isAggregate())
+      Aggregates.push_back(&VT);
+    else if (VT.name() == "+" || VT.name() == "-" || VT.name() == "*" ||
+             VT.name() == "/")
+      Arithmetic.push_back(&VT);
+    else
+      Comparisons.push_back(&VT);
+  }
+}
+
+const StandardValueOps &StandardValueOps::get() {
+  static StandardValueOps Instance;
+  return Instance;
+}
+
+const std::vector<const ValueTransformer *> &
+StandardValueOps::ofClass(ValueOpClass C) const {
+  switch (C) {
+  case ValueOpClass::Comparison:
+    return Comparisons;
+  case ValueOpClass::Arithmetic:
+    return Arithmetic;
+  case ValueOpClass::Aggregate:
+    return Aggregates;
+  }
+  return All;
+}
+
+const ValueTransformer *StandardValueOps::find(std::string_view Name) const {
+  for (const ValueTransformer *V : All)
+    if (V->name() == Name)
+      return V;
+  return nullptr;
+}

@@ -1,0 +1,57 @@
+//===- interp/ValueOps.h - Standard value transformers ----------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard first-order components Λv used in the paper's evaluation
+/// (Section 9): the comparison operators `<, >, <=, >=, ==, !=`, the
+/// aggregate functions `sum, mean, min, max, n`, and the arithmetic
+/// operators `+, -, *, /` used inside mutate expressions. Booleans are
+/// encoded as num 0/1 (the cell domain has no bool).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_INTERP_VALUEOPS_H
+#define MORPHEUS_INTERP_VALUEOPS_H
+
+#include "lang/Term.h"
+
+#include <vector>
+
+namespace morpheus {
+
+/// Categories used by type inhabitation when assembling terms.
+enum class ValueOpClass { Comparison, Arithmetic, Aggregate };
+
+/// Owns the standard value transformers; lives for the program duration.
+class StandardValueOps {
+public:
+  static const StandardValueOps &get();
+
+  /// All standard value transformers.
+  const std::vector<const ValueTransformer *> &all() const { return All; }
+
+  /// The subset in class \p C.
+  const std::vector<const ValueTransformer *> &
+  ofClass(ValueOpClass C) const;
+
+  const ValueTransformer *find(std::string_view Name) const;
+
+private:
+  StandardValueOps();
+
+  std::vector<ValueTransformer> Storage;
+  std::vector<const ValueTransformer *> All;
+  std::vector<const ValueTransformer *> Comparisons;
+  std::vector<const ValueTransformer *> Arithmetic;
+  std::vector<const ValueTransformer *> Aggregates;
+};
+
+/// Returns true iff \p V encodes boolean true (num 1).
+inline bool isTruthy(const Value &V) { return V.isNum() && V.num() != 0; }
+
+} // namespace morpheus
+
+#endif // MORPHEUS_INTERP_VALUEOPS_H

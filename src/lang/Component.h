@@ -1,0 +1,82 @@
+//===- lang/Component.h - Higher-order table transformers -------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The component abstraction of Definition 2. A TableTransformer is a
+/// higher-order component X = (f, τ, φ): a name, a type signature (number
+/// of table arguments plus the kinds of its first-order value parameters)
+/// and per-level first-order specifications φ. The synthesizer treats
+/// components entirely through this interface — adding a component requires
+/// no synthesizer change, only an `apply` implementation and (optionally) a
+/// spec; `true` is always a valid spec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_LANG_COMPONENT_H
+#define MORPHEUS_LANG_COMPONENT_H
+
+#include "lang/Spec.h"
+#include "lang/Term.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// A higher-order table transformer (an element of ΛT).
+class TableTransformer {
+public:
+  TableTransformer(std::string Name, unsigned NumTableArgs,
+                   std::vector<ParamKind> ValueParams)
+      : Name(std::move(Name)), NumTableArgs(NumTableArgs),
+        ValueParams(std::move(ValueParams)) {}
+  virtual ~TableTransformer();
+
+  TableTransformer(const TableTransformer &) = delete;
+  TableTransformer &operator=(const TableTransformer &) = delete;
+
+  const std::string &name() const { return Name; }
+  unsigned numTableArgs() const { return NumTableArgs; }
+  const std::vector<ParamKind> &valueParams() const { return ValueParams; }
+
+  /// Evaluates the component on concrete table arguments and filled value
+  /// parameters. Returns nullopt when the candidate instantiation is
+  /// ill-formed for these tables (missing column, duplicate spread keys,
+  /// type error in a term, ...); the synthesizer discards such candidates.
+  virtual std::optional<Table>
+  apply(const std::vector<Table> &Tables,
+        const std::vector<TermPtr> &Args) const = 0;
+
+  /// The first-order specification of this component at \p Level. Defaults
+  /// to `true` (Definition 2: true is always a valid spec).
+  const SpecFormula &spec(SpecLevel Level) const {
+    return Level == SpecLevel::Spec1 ? Spec1 : Spec2;
+  }
+  void setSpec(SpecLevel Level, SpecFormula F) {
+    (Level == SpecLevel::Spec1 ? Spec1 : Spec2) = std::move(F);
+  }
+
+private:
+  std::string Name;
+  unsigned NumTableArgs;
+  std::vector<ParamKind> ValueParams;
+  SpecFormula Spec1, Spec2;
+};
+
+/// A component library Λ = ΛT ∪ Λv (Definition 3). Owns nothing; the
+/// standard library in src/interp owns the actual objects.
+struct ComponentLibrary {
+  std::vector<const TableTransformer *> TableTransformers;
+  std::vector<const ValueTransformer *> ValueTransformers;
+
+  const TableTransformer *findTable(std::string_view Name) const;
+  const ValueTransformer *findValue(std::string_view Name) const;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_LANG_COMPONENT_H

@@ -1,0 +1,264 @@
+//===- lang/Hypothesis.cpp - Refinement trees --------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Hypothesis.h"
+
+#include <sstream>
+
+using namespace morpheus;
+
+TableTransformer::~TableTransformer() = default;
+
+const TableTransformer *
+ComponentLibrary::findTable(std::string_view Name) const {
+  for (const TableTransformer *T : TableTransformers)
+    if (T->name() == Name)
+      return T;
+  return nullptr;
+}
+
+const ValueTransformer *
+ComponentLibrary::findValue(std::string_view Name) const {
+  for (const ValueTransformer *V : ValueTransformers)
+    if (V->name() == Name)
+      return V;
+  return nullptr;
+}
+
+HypPtr Hypothesis::tblHole() {
+  auto H = std::shared_ptr<Hypothesis>(new Hypothesis());
+  H->K = Kind::TblHole;
+  return H;
+}
+
+HypPtr Hypothesis::valueHole(ParamKind PK) {
+  auto H = std::shared_ptr<Hypothesis>(new Hypothesis());
+  H->K = Kind::ValueHole;
+  H->PKind = PK;
+  return H;
+}
+
+HypPtr Hypothesis::input(size_t InputIdx) {
+  auto H = std::shared_ptr<Hypothesis>(new Hypothesis());
+  H->K = Kind::Input;
+  H->InputIdx = InputIdx;
+  return H;
+}
+
+HypPtr Hypothesis::filled(ParamKind PK, TermPtr T) {
+  auto H = std::shared_ptr<Hypothesis>(new Hypothesis());
+  H->K = Kind::Filled;
+  H->PKind = PK;
+  H->FilledTerm = std::move(T);
+  return H;
+}
+
+HypPtr Hypothesis::apply(const TableTransformer *X,
+                         std::vector<HypPtr> Children) {
+  assert(X && "null component");
+  assert(Children.size() == X->numTableArgs() + X->valueParams().size() &&
+         "child count does not match component signature");
+  auto H = std::shared_ptr<Hypothesis>(new Hypothesis());
+  H->K = Kind::Apply;
+  H->Comp = X;
+  H->Children = std::move(Children);
+  return H;
+}
+
+HypPtr Hypothesis::applyWithHoles(const TableTransformer *X) {
+  std::vector<HypPtr> Children;
+  for (unsigned I = 0; I != X->numTableArgs(); ++I)
+    Children.push_back(tblHole());
+  for (ParamKind PK : X->valueParams())
+    Children.push_back(valueHole(PK));
+  return apply(X, std::move(Children));
+}
+
+size_t Hypothesis::numApplies() const {
+  if (K != Kind::Apply)
+    return 0;
+  size_t N = 1;
+  for (const HypPtr &C : Children)
+    N += C->numApplies();
+  return N;
+}
+
+size_t Hypothesis::numTblHoles() const {
+  if (K == Kind::TblHole)
+    return 1;
+  if (K != Kind::Apply)
+    return 0;
+  size_t N = 0;
+  for (const HypPtr &C : Children)
+    N += C->numTblHoles();
+  return N;
+}
+
+size_t Hypothesis::numValueHoles() const {
+  if (K == Kind::ValueHole)
+    return 1;
+  if (K != Kind::Apply)
+    return 0;
+  size_t N = 0;
+  for (const HypPtr &C : Children)
+    N += C->numValueHoles();
+  return N;
+}
+
+bool Hypothesis::isSketch() const { return numTblHoles() == 0; }
+
+bool Hypothesis::isCompleteProgram() const {
+  return numTblHoles() == 0 && numValueHoles() == 0;
+}
+
+HypPtr Hypothesis::replaceLeftmostTblHole(HypPtr Replacement) const {
+  if (K == Kind::TblHole)
+    return Replacement;
+  assert(K == Kind::Apply && "no table hole below this node");
+  std::vector<HypPtr> NewChildren = Children;
+  for (size_t I = 0; I != NewChildren.size(); ++I) {
+    if (NewChildren[I]->numTblHoles() == 0)
+      continue;
+    NewChildren[I] = NewChildren[I]->replaceLeftmostTblHole(Replacement);
+    return apply(Comp, std::move(NewChildren));
+  }
+  assert(false && "no table hole below this node");
+  return nullptr;
+}
+
+static void enumerateSketches(const HypPtr &H, size_t NumInputs,
+                              std::vector<HypPtr> &Out) {
+  if (H->numTblHoles() == 0) {
+    Out.push_back(H);
+    return;
+  }
+  for (size_t I = 0; I != NumInputs; ++I)
+    enumerateSketches(H->replaceLeftmostTblHole(Hypothesis::input(I)),
+                      NumInputs, Out);
+}
+
+std::vector<HypPtr> Hypothesis::sketches(size_t NumInputs) const {
+  std::vector<HypPtr> Out;
+  // shared_from_this is unavailable (private ctor); rebuild a cheap alias.
+  HypPtr Self;
+  if (K == Kind::TblHole)
+    Self = tblHole();
+  else if (K == Kind::Apply)
+    Self = apply(Comp, Children);
+  else
+    Self = nullptr;
+  if (!Self)
+    return Out;
+  enumerateSketches(Self, NumInputs, Out);
+  return Out;
+}
+
+std::optional<Table>
+Hypothesis::evaluate(const std::vector<Table> &Inputs) const {
+  switch (K) {
+  case Kind::Input:
+    if (InputIdx >= Inputs.size())
+      return std::nullopt;
+    return Inputs[InputIdx];
+  case Kind::Apply: {
+    std::vector<Table> TableArgs;
+    std::vector<TermPtr> ValueArgs;
+    for (const HypPtr &C : Children) {
+      if (C->isTableTyped()) {
+        std::optional<Table> T = C->evaluate(Inputs);
+        if (!T)
+          return std::nullopt;
+        TableArgs.push_back(std::move(*T));
+      } else if (C->K == Kind::Filled) {
+        ValueArgs.push_back(C->FilledTerm);
+      } else {
+        return std::nullopt; // unfilled value hole
+      }
+    }
+    if (TableArgs.size() != Comp->numTableArgs())
+      return std::nullopt;
+    return Comp->apply(TableArgs, ValueArgs);
+  }
+  case Kind::TblHole:
+  case Kind::ValueHole:
+  case Kind::Filled:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void Hypothesis::collectComponentNames(std::vector<std::string> &Out) const {
+  if (K != Kind::Apply)
+    return;
+  // Post-order: children before the node, so a nested application prints
+  // in pipeline order (filter |> group_by |> summarise), matching how the
+  // n-gram corpus sentences are written.
+  for (const HypPtr &C : Children)
+    C->collectComponentNames(Out);
+  Out.push_back(Comp->name());
+}
+
+std::string Hypothesis::toString() const {
+  switch (K) {
+  case Kind::TblHole:
+    return "?tbl";
+  case Kind::ValueHole:
+    return "?" + std::string(paramKindName(PKind));
+  case Kind::Input:
+    return "x" + std::to_string(InputIdx);
+  case Kind::Filled:
+    return FilledTerm->toString();
+  case Kind::Apply: {
+    std::ostringstream OS;
+    OS << Comp->name() << '(';
+    for (size_t I = 0; I != Children.size(); ++I)
+      OS << (I ? ", " : "") << Children[I]->toString();
+    OS << ')';
+    return OS.str();
+  }
+  }
+  return "?";
+}
+
+namespace {
+/// Emits nested applies as a df1=..., df2=... assignment sequence.
+std::string emitRScript(const Hypothesis &H,
+                        const std::vector<std::string> &InputNames,
+                        std::ostringstream &OS, unsigned &NextDf) {
+  switch (H.kind()) {
+  case Hypothesis::Kind::Input:
+    return H.inputIndex() < InputNames.size()
+               ? InputNames[H.inputIndex()]
+               : "x" + std::to_string(H.inputIndex());
+  case Hypothesis::Kind::Filled:
+    return H.term()->toString();
+  case Hypothesis::Kind::Apply: {
+    std::vector<std::string> Parts;
+    for (const HypPtr &C : H.children())
+      Parts.push_back(emitRScript(*C, InputNames, OS, NextDf));
+    std::string Call = H.component()->name() + "(";
+    for (size_t I = 0; I != Parts.size(); ++I)
+      Call += (I ? ", " : "") + Parts[I];
+    Call += ")";
+    std::string Df = "df" + std::to_string(NextDf++);
+    OS << Df << " = " << Call << '\n';
+    return Df;
+  }
+  case Hypothesis::Kind::TblHole:
+  case Hypothesis::Kind::ValueHole:
+    return "?";
+  }
+  return "?";
+}
+} // namespace
+
+std::string
+Hypothesis::toRScript(const std::vector<std::string> &InputNames) const {
+  std::ostringstream OS;
+  unsigned NextDf = 1;
+  emitRScript(*this, InputNames, OS, NextDf);
+  return OS.str();
+}

@@ -1,0 +1,53 @@
+//===- lang/ParamKind.h - Value-hole parameter kinds ------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The types of non-table arguments of table transformers (Figure 3 of the
+/// paper, instantiated for the data-preparation domain). Each kind names a
+/// type whose inhabitants the sketch-completion engine enumerates with the
+/// table-driven type inhabitation rules of Figure 13:
+///
+///  - Cols       : `cols`, a list of column names (Cols rule); the
+///                 ColsOrdered variant additionally enumerates orderings,
+///                 for components where argument order is observable
+///                 (select's output schema, arrange's sort priority)
+///  - ColName    : a single existing column name (Cols rule, singleton)
+///  - NewName    : a fresh column name introduced by the component; its
+///                 universe is drawn from the output example's header
+///                 (partial evaluation finitizes the constant universe)
+///  - Pred       : `row -> bool`, a predicate built from comparison value
+///                 transformers, a column reference and a constant
+///                 (Lambda + App + Const rules)
+///  - Agg        : an aggregate application `f(col)` with f from the
+///                 first-order components (App rule over aggregate ops)
+///  - NumExpr    : a numeric expression over columns, aggregates and
+///                 arithmetic value transformers (App rule, depth-limited)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_LANG_PARAMKIND_H
+#define MORPHEUS_LANG_PARAMKIND_H
+
+#include <string_view>
+
+namespace morpheus {
+
+enum class ParamKind {
+  Cols,        ///< order-insensitive column list (gather, group_by)
+  ColsOrdered, ///< order-sensitive column list (select, arrange)
+  ColName,
+  NewName,
+  Pred,
+  Agg,
+  NumExpr
+};
+
+/// Printable name of \p K (for diagnostics and hypothesis dumps).
+std::string_view paramKindName(ParamKind K);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_LANG_PARAMKIND_H

@@ -1,0 +1,95 @@
+//===- smt/Deduce.h - SMT-based deduction (Algorithm 2) ---------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DEDUCE procedure of Section 6. Given a hypothesis and the
+/// input-output example, it builds the formula
+///
+///   ψ = Φ(H) ∧ ϕin ∧ ϕout ∧ ⋀ α(Ti)[xi/x] ∧ α(Tout)[y/x]
+///
+/// (Algorithm 2) over per-node attribute variables and checks its
+/// satisfiability with Z3 under the theory of Linear Integer Arithmetic.
+/// UNSAT proves that no completion of the hypothesis can match the example,
+/// so the hypothesis is pruned. Deduction is sound but incomplete: specs
+/// overapproximate, so SAT does not imply a completion exists.
+///
+/// Partial evaluation (Figure 7) strengthens ψ: any subtree that is already
+/// a complete program is evaluated, and the abstraction of its concrete
+/// result is conjoined (first case of Figure 12) — this is what rejects the
+/// partially filled sketch of Example 12 without filling the remaining
+/// holes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SMT_DEDUCE_H
+#define MORPHEUS_SMT_DEDUCE_H
+
+#include "lang/Hypothesis.h"
+#include "spec/Abstraction.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace morpheus {
+
+/// Aggregate counters the evaluation harness reports (Section 9 discusses
+/// deduction time and prune rates).
+struct DeduceStats {
+  uint64_t Calls = 0;
+  uint64_t Rejections = 0;
+  uint64_t FastPathRejections = 0;
+  uint64_t CacheHits = 0;
+  double SolverSeconds = 0;
+};
+
+/// SMT-based deduction engine. Not thread-safe; use one engine per search
+/// thread (Z3 contexts are not shared).
+class DeductionEngine {
+public:
+  /// \p Inputs / \p Output are the example E; the engine precomputes their
+  /// abstractions once.
+  DeductionEngine(const std::vector<Table> &Inputs, const Table &Output);
+  ~DeductionEngine();
+
+  DeductionEngine(const DeductionEngine &) = delete;
+  DeductionEngine &operator=(const DeductionEngine &) = delete;
+
+  /// Algorithm 2. Returns false iff H provably cannot be unified with the
+  /// example (⊥). \p UsePartialEval controls whether complete subtrees are
+  /// evaluated and their abstractions conjoined.
+  ///
+  /// If partial evaluation discovers that a complete subtree fails to
+  /// evaluate (a component rejects its arguments), the hypothesis is dead
+  /// and false is returned as well.
+  bool deduce(const HypPtr &H, SpecLevel Level, bool UsePartialEval);
+
+  /// Memoized partial evaluation of a (sub)hypothesis against the example
+  /// inputs. The cache is keyed on node identity — sound because trees are
+  /// immutable and shared — and also serves the sketch-completion engine's
+  /// candidate-universe computation.
+  const std::optional<Table> &evaluateCached(const HypPtr &H);
+
+  /// Drops the evaluation cache (called between sketches to bound memory).
+  void clearEvalCache();
+
+  /// Enables a concrete fast path: when a node and all of its table
+  /// children carry concrete abstractions (via partial evaluation), the
+  /// component spec is evaluated directly on integers before falling back
+  /// to Z3. Purely an optimization; used by the ablation benchmark.
+  void setIntervalFastPath(bool Enable) { FastPath = Enable; }
+
+  const DeduceStats &stats() const { return Stats; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+  DeduceStats Stats;
+  bool FastPath = true;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SMT_DEDUCE_H

@@ -1,0 +1,34 @@
+//===- spec/Abstraction.cpp - The abstraction function α ---------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Abstraction.h"
+
+#include "table/TableUtils.h"
+
+using namespace morpheus;
+
+ExampleBase ExampleBase::fromInputs(const std::vector<Table> &Inputs) {
+  ExampleBase Base;
+  Base.Headers = headerSet(Inputs);
+  Base.Values = valueSet(Inputs);
+  return Base;
+}
+
+AttrValues morpheus::abstractTable(const Table &T, const ExampleBase &Base) {
+  AttrValues A;
+  A.Row = int64_t(T.numRows());
+  A.Col = int64_t(T.numCols());
+  A.Group = 1;
+  // newCols counts headers that are *novel strings* — absent from the
+  // inputs' whole value universe Sc, not merely from their headers Sh.
+  // Both readings give 4 in the paper's Example 13 (the "A 2007" headers
+  // appear nowhere in the input), but only this one makes the spread spec
+  // `Tout.newCols <= Tin.newVals` satisfiable for spread's core use:
+  // spreading a key column whose values come from input *cells*.
+  A.NewCols = int64_t(countNotIn(headerSet(T), Base.Values));
+  A.NewVals = int64_t(countNotIn(valueSet(T), Base.Values));
+  return A;
+}

@@ -1,0 +1,47 @@
+//===- spec/Abstraction.h - The abstraction function α ----------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction function α of Section 6: maps a concrete table to the
+/// abstract attribute values the deduction engine constrains. Following
+/// Appendix A Example 13, `newCols`/`newVals` are computed against base
+/// sets formed from ALL input example tables: Sh (their column names) and
+/// Sc (their column names plus printed cell values). `group` is a purely
+/// abstract attribute — it is never derived from a concrete table (the
+/// paper sets the output's group to a fresh positive variable even though
+/// the output is concrete); input tables get group = 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SPEC_ABSTRACTION_H
+#define MORPHEUS_SPEC_ABSTRACTION_H
+
+#include "lang/Spec.h"
+#include "table/Table.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// The base sets Sh (headers) and Sc (headers + values) of the input
+/// example tables, fixed for the duration of one synthesis problem.
+struct ExampleBase {
+  std::set<std::string> Headers;
+  std::set<std::string> Values;
+
+  static ExampleBase fromInputs(const std::vector<Table> &Inputs);
+};
+
+/// α(T): the concrete attribute values of \p T relative to \p Base.
+/// The returned Group field is set to 1 and must only be used for input
+/// tables (see file comment).
+AttrValues abstractTable(const Table &T, const ExampleBase &Base);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SPEC_ABSTRACTION_H

@@ -1,0 +1,120 @@
+//===- spec/StdSpecs.cpp - Specs of the standard components ------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/StdSpecs.h"
+
+#include "lang/Component.h"
+
+using namespace morpheus;
+using namespace morpheus::specdsl;
+
+namespace {
+
+constexpr TableAttr Row = TableAttr::Row;
+constexpr TableAttr Col = TableAttr::Col;
+constexpr TableAttr Group = TableAttr::Group;
+constexpr TableAttr NewCols = TableAttr::NewCols;
+constexpr TableAttr NewVals = TableAttr::NewVals;
+
+/// Spec 1 (Table 2) per component name; empty formula = `true`.
+SpecFormula spec1For(const std::string &Name) {
+  if (Name == "spread")
+    return {{outA(Row) <= inA(0, Row), outA(Col) >= inA(0, Col)}};
+  if (Name == "gather")
+    return {{outA(Row) >= inA(0, Row), outA(Col) <= inA(0, Col)}};
+  if (Name == "separate")
+    return {{outA(Row) == inA(0, Row), outA(Col) == inA(0, Col) + 1}};
+  if (Name == "unite")
+    return {{outA(Row) == inA(0, Row), outA(Col) == inA(0, Col) - 1}};
+  if (Name == "select")
+    return {{outA(Row) == inA(0, Row), outA(Col) < inA(0, Col)}};
+  if (Name == "filter" || Name == "distinct")
+    return {{outA(Row) < inA(0, Row), outA(Col) == inA(0, Col)}};
+  if (Name == "summarise")
+    return {{outA(Row) <= inA(0, Row), outA(Col) <= inA(0, Col) + 1}};
+  if (Name == "group_by" || Name == "arrange")
+    return {{outA(Row) == inA(0, Row), outA(Col) == inA(0, Col)}};
+  if (Name == "mutate")
+    return {{outA(Row) == inA(0, Row), outA(Col) == inA(0, Col) + 1}};
+  if (Name == "inner_join")
+    return {{outA(Row) >= smin(inA(0, Row), inA(1, Row)),
+             outA(Row) <= smax(inA(0, Row), inA(1, Row)),
+             outA(Col) <= inA(0, Col) + inA(1, Col) - 1}};
+  return {};
+}
+
+/// The Spec 2 additions (Table 3); the full Spec 2 is Spec 1 ∧ these.
+SpecFormula spec2ExtrasFor(const std::string &Name) {
+  if (Name == "spread")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) <= inA(0, NewVals),
+             outA(NewCols) <= inA(0, NewVals)}};
+  if (Name == "gather")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) <= inA(0, NewVals) + 2,
+             outA(NewCols) <= inA(0, NewCols) + 2}};
+  if (Name == "separate")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) >= inA(0, NewVals) + 2,
+             outA(NewCols) <= inA(0, NewCols) + 2}};
+  if (Name == "unite")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) >= inA(0, NewVals) + 1,
+             outA(NewCols) <= inA(0, NewCols) + 1}};
+  if (Name == "select")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) <= inA(0, NewVals),
+             outA(NewCols) <= inA(0, NewCols)}};
+  if (Name == "filter" || Name == "distinct")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) <= inA(0, NewVals),
+             outA(NewCols) == inA(0, NewCols)}};
+  if (Name == "summarise")
+    return {{outA(Group) == inA(0, Group),
+             inA(0, Group) == outA(Row),
+             outA(NewVals) <= inA(0, NewVals) + inA(0, Group) + 1,
+             outA(NewCols) > lit(0),
+             outA(NewCols) <= inA(0, NewCols) + 1}};
+  if (Name == "group_by")
+    return {{outA(Group) >= inA(0, Group),
+             outA(NewVals) == inA(0, NewVals),
+             outA(NewCols) == inA(0, NewCols)}};
+  if (Name == "arrange")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewVals) == inA(0, NewVals),
+             outA(NewCols) == inA(0, NewCols)}};
+  // Deviation from Table 3: the paper bounds mutate by
+  // newVals <= newVals_in + row, but by its own definition (Example 13)
+  // the new column *name* also counts as a new value, so the sound bound
+  // is row + 1 — exactly the "+1" Table 3 itself uses for summarise.
+  // Without this fix the spec refutes the paper's own motivating
+  // Example 2 (mutate(prop = n / sum(n)) introduces row new cells plus
+  // the new header "prop").
+  if (Name == "mutate")
+    return {{outA(Group) == inA(0, Group),
+             outA(NewCols) == inA(0, NewCols) + 1,
+             outA(NewVals) > inA(0, NewVals),
+             outA(NewVals) <= inA(0, NewVals) + inA(0, Row) + 1}};
+  if (Name == "inner_join")
+    return {{outA(Group) == lit(1),
+             outA(NewCols) <= inA(0, NewCols) + inA(1, NewCols),
+             outA(NewVals) <= inA(0, NewVals) + inA(1, NewVals)}};
+  return {};
+}
+
+} // namespace
+
+void morpheus::attachStandardSpecs(
+    std::vector<TableTransformer *> &Components) {
+  for (TableTransformer *T : Components) {
+    SpecFormula S1 = spec1For(T->name());
+    SpecFormula S2 = S1;
+    for (SpecAtom &A : spec2ExtrasFor(T->name()).Atoms)
+      S2.Atoms.push_back(std::move(A));
+    T->setSpec(SpecLevel::Spec1, std::move(S1));
+    T->setSpec(SpecLevel::Spec2, std::move(S2));
+  }
+}

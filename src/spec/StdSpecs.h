@@ -1,0 +1,31 @@
+//===- spec/StdSpecs.h - Specs of the standard components -------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attaches the paper's two specification families to the standard
+/// component library: Spec 1 (Appendix A, Table 2 — row/col only) and
+/// Spec 2 (Appendix A, Table 3 — adds group/newCols/newVals). Specs are
+/// data consumed by the deduction engine; components the tables do not
+/// mention (arrange, distinct) get specs in the same style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SPEC_STDSPECS_H
+#define MORPHEUS_SPEC_STDSPECS_H
+
+#include <vector>
+
+namespace morpheus {
+
+class TableTransformer;
+
+/// Sets the Spec1/Spec2 formulas on every component in \p Components whose
+/// name the paper's tables cover (plus arrange/distinct).
+void attachStandardSpecs(std::vector<TableTransformer *> &Components);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SPEC_STDSPECS_H

@@ -1,0 +1,105 @@
+//===- suite/Runner.cpp - Suite execution harness -----------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Runner.h"
+
+#include "interp/Components.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace morpheus;
+
+TaskResult morpheus::runTask(const BenchmarkTask &T,
+                             const SynthesisConfig &Cfg) {
+  SynthesisConfig TaskCfg = Cfg;
+  TaskCfg.OrderedCompare = T.OrderedCompare;
+  ComponentLibrary Lib = T.Category == "SQL"
+                             ? StandardComponents::get().sqlRelevant()
+                             : StandardComponents::get().tidyDplyr();
+  Synthesizer S(std::move(Lib), TaskCfg);
+  SynthesisResult R = S.synthesize(T.Inputs, T.Output);
+
+  TaskResult Out;
+  Out.TaskId = T.Id;
+  Out.Category = T.Category;
+  Out.Solved = bool(R);
+  Out.Seconds = R.Stats.ElapsedSeconds;
+  Out.Stats = R.Stats;
+  return Out;
+}
+
+std::vector<TaskResult>
+morpheus::runSuite(const std::vector<BenchmarkTask> &Suite,
+                   const SynthesisConfig &Cfg, std::ostream *Progress) {
+  std::vector<TaskResult> Results;
+  Results.reserve(Suite.size());
+  for (const BenchmarkTask &T : Suite) {
+    Results.push_back(runTask(T, Cfg));
+    if (Progress) {
+      const TaskResult &R = Results.back();
+      (*Progress) << "  " << R.TaskId << ": "
+                  << (R.Solved ? "solved" : "TIMEOUT/FAIL") << " in "
+                  << R.Seconds << "s\n";
+      Progress->flush();
+    }
+  }
+  return Results;
+}
+
+double morpheus::medianSolvedTime(const std::vector<TaskResult> &Results) {
+  std::vector<double> Times;
+  for (const TaskResult &R : Results)
+    if (R.Solved)
+      Times.push_back(R.Seconds);
+  if (Times.empty())
+    return 0;
+  std::sort(Times.begin(), Times.end());
+  size_t N = Times.size();
+  return N % 2 ? Times[N / 2] : (Times[N / 2 - 1] + Times[N / 2]) / 2;
+}
+
+size_t morpheus::solvedCount(const std::vector<TaskResult> &Results) {
+  size_t N = 0;
+  for (const TaskResult &R : Results)
+    N += R.Solved;
+  return N;
+}
+
+std::vector<TaskResult>
+morpheus::byCategory(const std::vector<TaskResult> &Results,
+                     const std::string &Category) {
+  std::vector<TaskResult> Out;
+  for (const TaskResult &R : Results)
+    if (R.Category == Category)
+      Out.push_back(R);
+  return Out;
+}
+
+SynthesisConfig morpheus::configNoDeduction(std::chrono::milliseconds Timeout) {
+  SynthesisConfig Cfg;
+  Cfg.UseDeduction = false;
+  Cfg.Timeout = Timeout;
+  return Cfg;
+}
+
+SynthesisConfig morpheus::configSpec1(std::chrono::milliseconds Timeout,
+                                      bool PartialEval) {
+  SynthesisConfig Cfg;
+  Cfg.Level = SpecLevel::Spec1;
+  Cfg.UsePartialEval = PartialEval;
+  Cfg.Timeout = Timeout;
+  return Cfg;
+}
+
+SynthesisConfig morpheus::configSpec2(std::chrono::milliseconds Timeout,
+                                      bool PartialEval) {
+  SynthesisConfig Cfg;
+  Cfg.Level = SpecLevel::Spec2;
+  Cfg.UsePartialEval = PartialEval;
+  Cfg.Timeout = Timeout;
+  return Cfg;
+}

@@ -1,0 +1,64 @@
+//===- suite/Runner.h - Suite execution harness -----------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs benchmark suites under the synthesizer configurations the paper's
+/// evaluation compares (Figure 16: No deduction / Spec 1 / Spec 2;
+/// Figure 17: ± partial evaluation) and aggregates per-category results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SUITE_RUNNER_H
+#define MORPHEUS_SUITE_RUNNER_H
+
+#include "suite/Task.h"
+#include "synth/Synthesizer.h"
+
+#include <iosfwd>
+
+namespace morpheus {
+
+/// Result of one (task, configuration) run.
+struct TaskResult {
+  std::string TaskId;
+  std::string Category;
+  bool Solved = false;
+  double Seconds = 0;
+  SynthesisStats Stats;
+};
+
+/// Runs \p T under \p Cfg using the component library appropriate for the
+/// task ("SQL" tasks use the eight SQL-relevant components, everything else
+/// the tidyr/dplyr library).
+TaskResult runTask(const BenchmarkTask &T, const SynthesisConfig &Cfg);
+
+/// Runs every task of \p Suite; when \p Progress is non-null, prints one
+/// line per task as it finishes.
+std::vector<TaskResult> runSuite(const std::vector<BenchmarkTask> &Suite,
+                                 const SynthesisConfig &Cfg,
+                                 std::ostream *Progress = nullptr);
+
+/// Median of the running times of the *solved* results (the statistic
+/// Figure 16 reports); 0 when nothing was solved.
+double medianSolvedTime(const std::vector<TaskResult> &Results);
+
+/// Number of solved results.
+size_t solvedCount(const std::vector<TaskResult> &Results);
+
+/// Filters results to one category.
+std::vector<TaskResult> byCategory(const std::vector<TaskResult> &Results,
+                                   const std::string &Category);
+
+/// The named configurations of the evaluation section.
+SynthesisConfig configNoDeduction(std::chrono::milliseconds Timeout);
+SynthesisConfig configSpec1(std::chrono::milliseconds Timeout,
+                            bool PartialEval = true);
+SynthesisConfig configSpec2(std::chrono::milliseconds Timeout,
+                            bool PartialEval = true);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SUITE_RUNNER_H

@@ -1,0 +1,189 @@
+//===- suite/SuiteSql.cpp - The 28-task SQL-expressible suite ----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 28 SQL benchmarks used in the SQLSynthesizer comparison (Figure 18).
+/// Zhang & Sun's original benchmark set is select-project-join-aggregate
+/// queries over small relations; we rebuild 28 tasks in that query class
+/// (projections, selections, natural joins, grouped aggregates, ordering,
+/// duplicate elimination and their compositions) over a pool of themed
+/// relations. Every task is expressible as an SPJA query, so the baseline
+/// has a fair shot at all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Task.h"
+
+using namespace morpheus;
+using namespace morpheus::pb;
+
+namespace {
+
+Table employees() {
+  return makeTable({{"emp", CellType::Str},
+                    {"dept", CellType::Str},
+                    {"salary", CellType::Num},
+                    {"years", CellType::Num}},
+                   {{str("ann"), str("eng"), num(90), num(4)},
+                    {str("ben"), str("eng"), num(75), num(2)},
+                    {str("carl"), str("hr"), num(60), num(7)},
+                    {str("dana"), str("hr"), num(65), num(3)},
+                    {str("eli"), str("ops"), num(55), num(1)},
+                    {str("fay"), str("ops"), num(70), num(9)}});
+}
+
+Table departments() {
+  return makeTable({{"dept", CellType::Str}, {"site", CellType::Str}},
+                   {{str("eng"), str("austin")},
+                    {str("hr"), str("dallas")},
+                    {str("ops"), str("austin")}});
+}
+
+Table orders() {
+  return makeTable({{"order_id", CellType::Num},
+                    {"cust", CellType::Str},
+                    {"amount", CellType::Num}},
+                   {{num(1), str("acme"), num(250)},
+                    {num(2), str("bolt"), num(120)},
+                    {num(3), str("acme"), num(75)},
+                    {num(4), str("core"), num(310)},
+                    {num(5), str("bolt"), num(45)},
+                    {num(6), str("acme"), num(90)}});
+}
+
+Table customers() {
+  return makeTable({{"cust", CellType::Str}, {"tier", CellType::Str}},
+                   {{str("acme"), str("gold")},
+                    {str("bolt"), str("silver")},
+                    {str("core"), str("gold")}});
+}
+
+Table products() {
+  return makeTable({{"sku", CellType::Str},
+                    {"category", CellType::Str},
+                    {"price", CellType::Num},
+                    {"stock", CellType::Num}},
+                   {{str("p1"), str("tools"), num(30), num(12)},
+                    {str("p2"), str("tools"), num(45), num(3)},
+                    {str("p3"), str("paint"), num(15), num(40)},
+                    {str("p4"), str("paint"), num(22), num(8)},
+                    {str("p5"), str("wood"), num(9), num(100)}});
+}
+
+Table shipments() {
+  return makeTable({{"sku", CellType::Str},
+                    {"qty", CellType::Num},
+                    {"dest", CellType::Str}},
+                   {{str("p1"), num(5), str("north")},
+                    {str("p2"), num(2), str("south")},
+                    {str("p3"), num(9), str("north")},
+                    {str("p3"), num(4), str("south")},
+                    {str("p4"), num(7), str("north")},
+                    {str("p5"), num(20), str("south")}});
+}
+
+} // namespace
+
+const std::vector<BenchmarkTask> &morpheus::sqlSuite() {
+  static const std::vector<BenchmarkTask> Suite = [] {
+    std::vector<BenchmarkTask> Out;
+    Out.reserve(28);
+    int N = 0;
+    auto Id = [&N] {
+      ++N;
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "SQL-%02d", N);
+      return std::string(Buf);
+    };
+    auto Add = [&](std::string Desc, std::vector<Table> Inputs, HypPtr GT,
+                   bool Ordered = false) {
+      Out.push_back(task(Id(), "SQL", std::move(Desc), std::move(Inputs),
+                         std::move(GT), Ordered));
+    };
+
+    // Projections.
+    Add("names and salaries", {employees()},
+        select(in(0), {"emp", "salary"}));
+    Add("order amounts", {orders()}, select(in(0), {"order_id", "amount"}));
+    Add("sku and stock", {products()}, select(in(0), {"sku", "stock"}));
+
+    // Selections.
+    Add("engineers only", {employees()},
+        filter(in(0), "dept", "==", str("eng")));
+    Add("orders above 100", {orders()},
+        filter(in(0), "amount", ">", num(100)));
+    Add("low-stock products", {products()},
+        filter(in(0), "stock", "<", num(10)));
+    Add("veterans", {employees()}, filter(in(0), "years", ">=", num(4)));
+
+    // Selection + projection.
+    Add("names of well-paid staff", {employees()},
+        select(filter(in(0), "salary", ">", num(65)), {"emp"}));
+    Add("northbound skus and quantities", {shipments()},
+        select(filter(in(0), "dest", "==", str("north")), {"sku", "qty"}));
+    Add("cheap paint skus", {products()},
+        select(filter(in(0), "category", "==", str("paint")),
+               {"sku", "price"}));
+
+    // Grouped aggregates.
+    Add("headcount per department", {employees()},
+        summarise(groupBy(in(0), {"dept"}), "cnt", "n"));
+    Add("total order amount per customer", {orders()},
+        summarise(groupBy(in(0), {"cust"}), "total", "sum", "amount"));
+    Add("mean salary per department", {employees()},
+        summarise(groupBy(in(0), {"dept"}), "avg", "mean", "salary"));
+    Add("max price per category", {products()},
+        summarise(groupBy(in(0), {"category"}), "top", "max", "price"));
+    Add("min shipment per destination", {shipments()},
+        summarise(groupBy(in(0), {"dest"}), "least", "min", "qty"));
+
+    // Selection + grouped aggregate.
+    Add("big-order count per customer", {orders()},
+        summarise(groupBy(filter(in(0), "amount", ">", num(80)), {"cust"}),
+                  "cnt", "n"));
+    Add("total northbound quantity per sku", {shipments()},
+        summarise(groupBy(filter(in(0), "dest", "==", str("north")),
+                          {"sku"}),
+                  "total", "sum", "qty"));
+
+    // Joins.
+    Add("employees with sites", {employees(), departments()},
+        innerJoin(in(0), in(1)));
+    Add("orders with tiers", {orders(), customers()},
+        innerJoin(in(0), in(1)));
+    Add("shipments with categories", {shipments(), products()},
+        innerJoin(in(0), in(1)));
+
+    // Join + projection / selection.
+    Add("employee names and sites", {employees(), departments()},
+        select(innerJoin(in(0), in(1)), {"emp", "site"}));
+    Add("gold-tier orders", {orders(), customers()},
+        filter(innerJoin(in(0), in(1)), "tier", "==", str("gold")));
+    Add("austin staff", {employees(), departments()},
+        select(filter(innerJoin(in(0), in(1)), "site", "==", str("austin")),
+               {"emp", "dept"}));
+
+    // Join + grouped aggregate.
+    Add("total amount per tier", {orders(), customers()},
+        summarise(groupBy(innerJoin(in(0), in(1)), {"tier"}), "total",
+                  "sum", "amount"));
+    Add("headcount per site", {employees(), departments()},
+        summarise(groupBy(innerJoin(in(0), in(1)), {"site"}), "cnt", "n"));
+
+    // Ordering and distinct.
+    Add("orders sorted by amount", {orders()},
+        arrange(select(in(0), {"order_id", "amount"}), {"amount"}),
+        /*Ordered=*/true);
+    Add("distinct shipment destinations", {shipments()},
+        distinct(select(in(0), {"dest"})));
+    Add("distinct customer tiers", {customers()},
+        distinct(select(in(0), {"tier"})));
+
+    assert(Out.size() == 28 && "the SQL suite must have exactly 28 tasks");
+    return Out;
+  }();
+  return Suite;
+}

@@ -1,0 +1,161 @@
+//===- suite/TaskBuilder.cpp - Program-builder helpers -----------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Task.h"
+
+#include "interp/Components.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace morpheus;
+
+namespace {
+
+const TableTransformer *comp(const char *Name) {
+  const TableTransformer *T = StandardComponents::get().find(Name);
+  assert(T && "unknown component");
+  return T;
+}
+
+const ValueTransformer *vop(const std::string &Name) {
+  const ValueTransformer *V = StandardValueOps::get().find(Name);
+  assert(V && "unknown value transformer");
+  return V;
+}
+
+} // namespace
+
+HypPtr pb::in(size_t Index) { return Hypothesis::input(Index); }
+
+HypPtr pb::gather(HypPtr T, std::string Key, std::string Val,
+                  std::vector<std::string> Cols) {
+  return Hypothesis::apply(
+      comp("gather"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(Key))),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(Val))),
+       Hypothesis::filled(ParamKind::Cols, Term::colsLit(std::move(Cols)))});
+}
+
+HypPtr pb::spread(HypPtr T, std::string Key, std::string Val) {
+  return Hypothesis::apply(
+      comp("spread"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::ColName, Term::colRef(std::move(Key))),
+       Hypothesis::filled(ParamKind::ColName, Term::colRef(std::move(Val)))});
+}
+
+HypPtr pb::separate(HypPtr T, std::string Col, std::string Into1,
+                    std::string Into2) {
+  return Hypothesis::apply(
+      comp("separate"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::ColName, Term::colRef(std::move(Col))),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(Into1))),
+       Hypothesis::filled(ParamKind::NewName,
+                          Term::nameLit(std::move(Into2)))});
+}
+
+HypPtr pb::unite(HypPtr T, std::string NewName, std::string C1,
+                 std::string C2) {
+  return Hypothesis::apply(
+      comp("unite"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(NewName))),
+       Hypothesis::filled(ParamKind::ColName, Term::colRef(std::move(C1))),
+       Hypothesis::filled(ParamKind::ColName, Term::colRef(std::move(C2)))});
+}
+
+HypPtr pb::select(HypPtr T, std::vector<std::string> Cols) {
+  return Hypothesis::apply(
+      comp("select"),
+      {std::move(T), Hypothesis::filled(ParamKind::ColsOrdered,
+                                        Term::colsLit(std::move(Cols)))});
+}
+
+HypPtr pb::filter(HypPtr T, std::string Col, std::string Op, Value Const) {
+  TermPtr Pred = Term::app(vop(Op), {Term::colRef(std::move(Col)),
+                                     Term::constant(std::move(Const))});
+  return Hypothesis::apply(
+      comp("filter"),
+      {std::move(T), Hypothesis::filled(ParamKind::Pred, std::move(Pred))});
+}
+
+HypPtr pb::groupBy(HypPtr T, std::vector<std::string> Cols) {
+  return Hypothesis::apply(
+      comp("group_by"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::Cols, Term::colsLit(std::move(Cols)))});
+}
+
+HypPtr pb::summarise(HypPtr T, std::string NewName, std::string AggFn,
+                     std::string Col) {
+  TermPtr A = Col.empty()
+                  ? Term::app(vop(AggFn), {})
+                  : Term::app(vop(AggFn), {Term::colRef(std::move(Col))});
+  return Hypothesis::apply(
+      comp("summarise"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(NewName))),
+       Hypothesis::filled(ParamKind::Agg, std::move(A))});
+}
+
+HypPtr pb::mutate(HypPtr T, std::string NewName, TermPtr Expr) {
+  return Hypothesis::apply(
+      comp("mutate"),
+      {std::move(T),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit(std::move(NewName))),
+       Hypothesis::filled(ParamKind::NumExpr, std::move(Expr))});
+}
+
+HypPtr pb::innerJoin(HypPtr A, HypPtr B) {
+  return Hypothesis::apply(comp("inner_join"), {std::move(A), std::move(B)});
+}
+
+HypPtr pb::arrange(HypPtr T, std::vector<std::string> Cols) {
+  return Hypothesis::apply(
+      comp("arrange"),
+      {std::move(T), Hypothesis::filled(ParamKind::ColsOrdered,
+                                        Term::colsLit(std::move(Cols)))});
+}
+
+HypPtr pb::distinct(HypPtr T) {
+  return Hypothesis::apply(comp("distinct"), {std::move(T)});
+}
+
+TermPtr pb::col(std::string Name) { return Term::colRef(std::move(Name)); }
+
+TermPtr pb::agg(std::string Fn, std::string Col) {
+  if (Col.empty())
+    return Term::app(vop(Fn), {});
+  return Term::app(vop(Fn), {Term::colRef(std::move(Col))});
+}
+
+TermPtr pb::bin(std::string Op, TermPtr L, TermPtr R) {
+  return Term::app(vop(Op), {std::move(L), std::move(R)});
+}
+
+BenchmarkTask pb::task(std::string Id, std::string Category,
+                       std::string Description, std::vector<Table> Inputs,
+                       HypPtr GroundTruth, bool OrderedCompare) {
+  std::optional<Table> Out = GroundTruth->evaluate(Inputs);
+  if (!Out) {
+    std::fprintf(stderr,
+                 "suite bug: ground truth of %s fails to evaluate:\n%s\n",
+                 Id.c_str(), GroundTruth->toString().c_str());
+    std::abort();
+  }
+  BenchmarkTask T;
+  T.Id = std::move(Id);
+  T.Category = std::move(Category);
+  T.Description = std::move(Description);
+  T.Inputs = std::move(Inputs);
+  T.GroundTruth = std::move(GroundTruth);
+  T.Output = std::move(*Out);
+  T.OrderedCompare = OrderedCompare;
+  return T;
+}

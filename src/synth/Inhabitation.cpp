@@ -1,0 +1,253 @@
+//===- synth/Inhabitation.cpp - Table-driven type inhabitation ---------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Inhabitation.h"
+
+#include "table/TableUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace morpheus;
+
+namespace {
+
+/// Combined (name, type) column view over several tables, deduplicated by
+/// name in table/schema order.
+std::vector<Column> combinedColumns(const std::vector<Table> &Tables) {
+  std::vector<Column> Out;
+  std::set<std::string> Seen;
+  for (const Table &T : Tables)
+    for (const Column &C : T.schema().columns())
+      if (Seen.insert(C.Name).second)
+        Out.push_back(C);
+  return Out;
+}
+
+/// Distinct cells of the named column across all tables that have it.
+std::vector<Value> combinedColumnValues(const std::vector<Table> &Tables,
+                                        const std::string &Name) {
+  std::vector<Value> Out;
+  std::set<std::string> Seen;
+  for (const Table &T : Tables) {
+    if (!T.schema().contains(Name))
+      continue;
+    for (const Value &V : distinctColumnValues(T, Name))
+      if (Seen.insert(V.toString() + (V.isStr() ? "#s" : "#n")).second)
+        Out.push_back(V);
+  }
+  return Out;
+}
+
+/// Checks whether a value transformer is a comparison usable on \p CT
+/// operands given the configuration.
+bool comparisonAppliesTo(const ValueTransformer &Op, CellType CT,
+                         bool OrderedStrings) {
+  if (CT == CellType::Num)
+    return true;
+  if (Op.name() == "==" || Op.name() == "!=")
+    return true;
+  return OrderedStrings;
+}
+
+} // namespace
+
+bool Inhabitation::enumerate(ParamKind PK,
+                             const std::vector<Table> &ChildTables,
+                             const Table &Output, unsigned HoleSeq,
+                             const std::function<bool(TermPtr)> &Visit) const {
+  switch (PK) {
+  case ParamKind::Cols:
+    return enumCols(ChildTables, /*Ordered=*/false, Visit);
+  case ParamKind::ColsOrdered:
+    return enumCols(ChildTables, /*Ordered=*/true, Visit);
+  case ParamKind::ColName:
+    return enumColName(ChildTables, Visit);
+  case ParamKind::NewName:
+    return enumNewName(ChildTables, Output, HoleSeq, Visit);
+  case ParamKind::Pred:
+    return enumPred(ChildTables, Visit);
+  case ParamKind::Agg:
+    return enumAgg(ChildTables, Visit);
+  case ParamKind::NumExpr:
+    return enumNumExpr(ChildTables, Visit);
+  }
+  return true;
+}
+
+bool Inhabitation::enumCols(const std::vector<Table> &Tables, bool Ordered,
+                            const std::function<bool(TermPtr)> &Visit) const {
+  // The Cols rule enumerates P([1,n]); we emit subsets in schema order, by
+  // increasing size, capped at MaxColsSubset (DESIGN.md §5 finitization).
+  // Order-sensitive holes (select, arrange) additionally get every
+  // ordering of small subsets.
+  std::vector<Column> Cols = combinedColumns(Tables);
+  size_t N = Cols.size();
+  size_t Emitted = 0;
+  size_t MaxSize = std::min(Cfg.MaxColsSubset, N);
+  std::vector<size_t> Pick;
+  // Iterative enumeration of k-subsets in lexicographic order.
+  for (size_t K = 1; K <= MaxSize; ++K) {
+    Pick.assign(K, 0);
+    for (size_t I = 0; I != K; ++I)
+      Pick[I] = I;
+    while (true) {
+      std::vector<size_t> Perm = Pick;
+      bool Permute = Ordered && K <= Cfg.MaxPermutedColsSubset;
+      do {
+        std::vector<std::string> Names;
+        Names.reserve(K);
+        for (size_t I : Perm)
+          Names.push_back(Cols[I].Name);
+        if (++Emitted > Cfg.MaxCandidatesPerHole)
+          return true;
+        if (!Visit(Term::colsLit(std::move(Names))))
+          return false;
+      } while (Permute && std::next_permutation(Perm.begin(), Perm.end()));
+      // Advance to the next k-subset.
+      size_t I = K;
+      while (I-- > 0) {
+        if (Pick[I] != I + N - K) {
+          ++Pick[I];
+          for (size_t J = I + 1; J != K; ++J)
+            Pick[J] = Pick[J - 1] + 1;
+          break;
+        }
+        if (I == 0)
+          goto nextK;
+      }
+    }
+  nextK:;
+  }
+  return true;
+}
+
+bool Inhabitation::enumColName(
+    const std::vector<Table> &Tables,
+    const std::function<bool(TermPtr)> &Visit) const {
+  for (const Column &C : combinedColumns(Tables))
+    if (!Visit(Term::colRef(C.Name)))
+      return false;
+  return true;
+}
+
+bool Inhabitation::enumNewName(
+    const std::vector<Table> &Tables, const Table &Output, unsigned HoleSeq,
+    const std::function<bool(TermPtr)> &Visit) const {
+  // Candidate names: output headers not present in the child tables (a new
+  // column surviving to the output must carry one of these), plus one
+  // fresh name for columns consumed by a later component (e.g. the united
+  // key column of motivating Example 1 that spread consumes).
+  std::set<std::string> Existing;
+  for (const Column &C : combinedColumns(Tables))
+    Existing.insert(C.Name);
+  for (const Column &C : Output.schema().columns())
+    if (!Existing.count(C.Name))
+      if (!Visit(Term::nameLit(C.Name)))
+        return false;
+  return Visit(Term::nameLit("tmp" + std::to_string(HoleSeq)));
+}
+
+bool Inhabitation::enumPred(const std::vector<Table> &Tables,
+                            const std::function<bool(TermPtr)> &Visit) const {
+  // Lambda + App + Const + Var rules: \row. op(row.col, const) where op is
+  // a comparison from Λv and const occurs in the column (Section 7 argues
+  // this finitization preserves example-equivalence).
+  const auto &Comparisons = [&] {
+    std::vector<const ValueTransformer *> Out;
+    for (const ValueTransformer *V : Lib.ValueTransformers)
+      if (!V->isAggregate() && V->arity() == 2 && V->resultType() == CellType::Num &&
+          (V->name() == "==" || V->name() == "!=" || V->name() == "<" ||
+           V->name() == ">" || V->name() == "<=" || V->name() == ">="))
+        Out.push_back(V);
+    return Out;
+  }();
+  size_t Emitted = 0;
+  for (const Column &C : combinedColumns(Tables)) {
+    std::vector<Value> Consts = combinedColumnValues(Tables, C.Name);
+    for (const ValueTransformer *Op : Comparisons) {
+      if (!comparisonAppliesTo(*Op, C.Type, Cfg.OrderedStringCompare))
+        continue;
+      for (const Value &V : Consts) {
+        if (++Emitted > Cfg.MaxCandidatesPerHole)
+          return true;
+        TermPtr Pred = Term::app(
+            Op, {Term::colRef(C.Name), Term::constant(V)});
+        if (!Visit(std::move(Pred)))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Inhabitation::enumAgg(const std::vector<Table> &Tables,
+                           const std::function<bool(TermPtr)> &Visit) const {
+  for (const ValueTransformer *Op : Lib.ValueTransformers) {
+    if (!Op->isAggregate())
+      continue;
+    if (Op->arity() == 0) {
+      if (!Visit(Term::app(Op, {})))
+        return false;
+      continue;
+    }
+    for (const Column &C : combinedColumns(Tables)) {
+      if (C.Type != CellType::Num)
+        continue;
+      if (!Visit(Term::app(Op, {Term::colRef(C.Name)})))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Inhabitation::enumNumExpr(
+    const std::vector<Table> &Tables,
+    const std::function<bool(TermPtr)> &Visit) const {
+  // Operands: numeric columns and aggregates over them (depth-1 App).
+  std::vector<TermPtr> Operands;
+  for (const Column &C : combinedColumns(Tables))
+    if (C.Type == CellType::Num)
+      Operands.push_back(Term::colRef(C.Name));
+  size_t NumColRefs = Operands.size();
+  for (const ValueTransformer *Op : Lib.ValueTransformers) {
+    if (!Op->isAggregate())
+      continue;
+    if (Op->arity() == 0) {
+      Operands.push_back(Term::app(Op, {}));
+      continue;
+    }
+    for (size_t I = 0; I != NumColRefs; ++I)
+      Operands.push_back(Term::app(Op, {Operands[I]}));
+  }
+
+  // Depth-2 App: plain aggregates first (mutate(total = sum(x))), then
+  // arithmetic combinations of two operands.
+  size_t Emitted = 0;
+  for (size_t I = NumColRefs; I != Operands.size(); ++I)
+    if (!Visit(Operands[I]))
+      return false;
+
+  std::vector<const ValueTransformer *> Arith;
+  for (const ValueTransformer *V : Lib.ValueTransformers)
+    if (!V->isAggregate() &&
+        (V->name() == "+" || V->name() == "-" || V->name() == "*" ||
+         V->name() == "/"))
+      Arith.push_back(V);
+  for (const ValueTransformer *Op : Arith) {
+    for (const TermPtr &L : Operands) {
+      for (const TermPtr &R : Operands) {
+        if (L == R && (Op->name() == "-" || Op->name() == "/"))
+          continue; // x-x / x/x are never needed
+        if (++Emitted > Cfg.MaxCandidatesPerHole)
+          return true;
+        if (!Visit(Term::app(Op, {L, R})))
+          return false;
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,379 @@
+//===- synth/Synthesizer.cpp - Top-level synthesis algorithm -----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+
+using namespace morpheus;
+
+namespace {
+
+/// Returns the node of \p Tree at \p Path (child indices from the root).
+const HypPtr &nodeAt(const HypPtr &Tree, const std::vector<size_t> &Path) {
+  const HypPtr *N = &Tree;
+  for (size_t I : Path) {
+    assert((*N)->isApply() && I < (*N)->children().size() && "bad hole path");
+    N = &(*N)->children()[I];
+  }
+  return *N;
+}
+
+/// Returns \p Tree with the node at \p Path replaced by \p Replacement,
+/// rebuilding only the spine.
+HypPtr replaceAtPath(const HypPtr &Tree, const std::vector<size_t> &Path,
+                     size_t Depth, HypPtr Replacement) {
+  if (Depth == Path.size())
+    return Replacement;
+  assert(Tree->isApply() && "bad hole path");
+  std::vector<HypPtr> Children = Tree->children();
+  size_t I = Path[Depth];
+  Children[I] =
+      replaceAtPath(Children[I], Path, Depth + 1, std::move(Replacement));
+  return Hypothesis::apply(Tree->component(), std::move(Children));
+}
+
+/// A value hole of a sketch, in bottom-up completion order.
+struct HoleInfo {
+  std::vector<size_t> Path;     ///< path to the hole itself
+  std::vector<size_t> NodePath; ///< path to the owning Apply node
+  ParamKind Kind;
+  bool LastOfNode; ///< filling it makes the owning subtree complete
+};
+
+/// Collects value holes in post-order of their owning Apply nodes, so table
+/// children are always complete before a node's value holes are filled
+/// (the bottom-up strategy of Section 7).
+void collectHoles(const HypPtr &Node, std::vector<size_t> &Path,
+                  std::vector<HoleInfo> &Out) {
+  if (!Node->isApply())
+    return;
+  const auto &Children = Node->children();
+  for (size_t I = 0; I != Children.size(); ++I) {
+    if (!Children[I]->isTableTyped())
+      continue;
+    Path.push_back(I);
+    collectHoles(Children[I], Path, Out);
+    Path.pop_back();
+  }
+  size_t FirstHole = Out.size();
+  for (size_t I = 0; I != Children.size(); ++I) {
+    if (!Children[I]->isValueHole())
+      continue;
+    HoleInfo HI;
+    HI.NodePath = Path;
+    HI.Path = Path;
+    HI.Path.push_back(I);
+    HI.Kind = Children[I]->paramKind();
+    HI.LastOfNode = false;
+    Out.push_back(std::move(HI));
+  }
+  if (Out.size() > FirstHole)
+    Out.back().LastOfNode = true;
+}
+
+/// One synthesis run; bundles the state Algorithm 1 threads through its
+/// subroutines.
+class SearchContext {
+public:
+  SearchContext(const ComponentLibrary &Lib, const SynthesisConfig &Cfg,
+                const std::vector<Table> &Inputs, const Table &Output)
+      : Lib(Lib), Cfg(Cfg), Inputs(Inputs), Output(Output),
+        SortedOutput(Output.sortedByAllColumns()), Engine(Inputs, Output),
+        Inhab(Lib, Cfg.Inhab),
+        Deadline(std::chrono::steady_clock::now() + Cfg.Timeout) {}
+
+  SynthesisResult run();
+
+private:
+  bool expired() {
+    if (TimedOut)
+      return true;
+    if ((++ExpiryPoll & 0xF) != 0)
+      return false;
+    TimedOut = std::chrono::steady_clock::now() >= Deadline;
+    return TimedOut;
+  }
+
+  /// True when the current sketch used up its completion budget.
+  bool sketchBudgetSpent() {
+    if (Cfg.MaxWorkPerSketch != 0 && SketchWork > Cfg.MaxWorkPerSketch)
+      return true;
+    if (Cfg.MaxSecondsPerSketch <= 0)
+      return false;
+    if ((++SketchPoll & 0xF) != 0)
+      return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         SketchStart)
+               .count() > Cfg.MaxSecondsPerSketch;
+  }
+
+  double costOf(const HypPtr &H) const {
+    double Size = double(H->numApplies());
+    if (!Cfg.UseNGram)
+      return Size;
+    std::vector<std::string> Names;
+    H->collectComponentNames(Names);
+    return NGramModel::standard().score(Names) + Cfg.SizeWeight * Size;
+  }
+
+  bool deduce(const HypPtr &H) {
+    return Engine.deduce(H, Cfg.Level, Cfg.UsePartialEval);
+  }
+
+  bool checkCandidate(const HypPtr &Candidate) {
+    ++Stats.CandidatesChecked;
+    ++SketchWork;
+    const std::optional<Table> &T = Engine.evaluateCached(Candidate);
+    if (!T)
+      return false;
+    // Cheap rejections first; candidate checks run millions of times.
+    if (T->numRows() != Output.numRows() ||
+        !(T->schema() == Output.schema()))
+      return false;
+    bool Equal = Cfg.OrderedCompare
+                     ? T->equalsOrdered(Output)
+                     : T->sortedByAllColumns().equalsOrdered(SortedOutput);
+    if (!Equal)
+      return false;
+    Solution = Candidate;
+    return true;
+  }
+
+  /// FILLSKETCH (Figure 14): backtracking over the sketch's value holes in
+  /// bottom-up order. Returns true when a solution was found.
+  bool fillSketch(const HypPtr &Sketch);
+  bool fillHoles(size_t Index, const HypPtr &Tree,
+                 const std::vector<HoleInfo> &Holes);
+
+  /// The tables whose contents finitize the candidate universe for a hole
+  /// of \p Node. With partial evaluation these are the node's concrete
+  /// child tables; without it, only the example's tables are available
+  /// (Section 1: partial evaluation "drives enumerative search").
+  std::optional<std::vector<Table>> universeFor(const HypPtr &Node);
+
+  const ComponentLibrary &Lib;
+  const SynthesisConfig &Cfg;
+  const std::vector<Table> &Inputs;
+  const Table &Output;
+  Table SortedOutput;
+  DeductionEngine Engine;
+  Inhabitation Inhab;
+  std::chrono::steady_clock::time_point Deadline;
+  unsigned ExpiryPoll = 0;
+  bool TimedOut = false;
+  uint64_t SketchWork = 0;
+  unsigned SketchPoll = 0;
+  std::chrono::steady_clock::time_point SketchStart;
+  SynthesisStats Stats;
+  HypPtr Solution;
+};
+
+std::optional<std::vector<Table>>
+SearchContext::universeFor(const HypPtr &Node) {
+  std::vector<Table> ChildTables;
+  if (!Cfg.UsePartialEval) {
+    // No-partial-evaluation ablation: the universe degrades to the input
+    // tables (new-name holes still draw from the output header, which the
+    // enumerator receives separately).
+    ChildTables = Inputs;
+    return ChildTables;
+  }
+  for (const HypPtr &C : Node->children()) {
+    if (!C->isTableTyped())
+      continue;
+    const std::optional<Table> &T = Engine.evaluateCached(C);
+    if (!T)
+      return std::nullopt; // a completed child fails to evaluate
+    ChildTables.push_back(*T);
+  }
+  return ChildTables;
+}
+
+bool SearchContext::fillHoles(size_t Index, const HypPtr &Tree,
+                              const std::vector<HoleInfo> &Holes) {
+  if (expired())
+    return false;
+  if (Index == Holes.size())
+    return checkCandidate(Tree);
+
+  if (sketchBudgetSpent())
+    return false;
+  const HoleInfo &HI = Holes[Index];
+  const HypPtr &Node = nodeAt(Tree, HI.NodePath);
+  std::optional<std::vector<Table>> Universe = universeFor(Node);
+  if (!Universe)
+    return false;
+
+  bool Found = false;
+  Inhab.enumerate(
+      HI.Kind, *Universe, Output, unsigned(Index), [&](TermPtr T) {
+        if (expired())
+          return false;
+        HypPtr NewTree = replaceAtPath(
+            Tree, HI.Path, 0, Hypothesis::filled(HI.Kind, std::move(T)));
+        // The final hole's fill goes straight to the candidate check, which
+        // subsumes deduction on a fully complete tree.
+        if (HI.LastOfNode && Index + 1 != Holes.size()) {
+          // The owning subtree is now complete: partial evaluation gives
+          // deduction a concrete table to abstract (rule 1/3 of Fig. 14).
+          if (Cfg.UseDeduction && Cfg.UsePartialEval) {
+            ++Stats.PartialFillsTried;
+            ++SketchWork;
+            if (!deduce(NewTree)) {
+              ++Stats.PartialFillsPruned;
+              return true; // refuted; try the next candidate
+            }
+          } else {
+            // Plain enumerative search still evaluates concretely.
+            if (!Engine.evaluateCached(nodeAt(NewTree, HI.NodePath)))
+              return true;
+          }
+        }
+        if (fillHoles(Index + 1, NewTree, Holes)) {
+          Found = true;
+          return false;
+        }
+        return !TimedOut && !sketchBudgetSpent();
+      });
+  return Found;
+}
+
+bool SearchContext::fillSketch(const HypPtr &Sketch) {
+  SketchWork = 0;
+  SketchPoll = 0;
+  SketchStart = std::chrono::steady_clock::now();
+  std::vector<HoleInfo> Holes;
+  std::vector<size_t> Path;
+  collectHoles(Sketch, Path, Holes);
+  bool Found = fillHoles(0, Sketch, Holes);
+  // Bound cache growth: entries only help within one sketch's completion.
+  Engine.clearEvalCache();
+  return Found;
+}
+
+SynthesisResult SearchContext::run() {
+  auto Start = std::chrono::steady_clock::now();
+
+  // Section 8: the paper searches for solutions of different sizes in
+  // parallel threads and stops when any thread succeeds. The sequential
+  // analog is one cost-ordered worklist per program size with *time-fair*
+  // scheduling: each iteration services the non-empty size class that has
+  // consumed the least wall-clock so far. Small-program classes (cheap,
+  // numerous sketches) get many turns while a deep class grinding through
+  // expensive completions cannot starve them — the behaviour of the
+  // paper's per-size threads on one core.
+  using QueueItem = std::pair<double, HypPtr>;
+  auto Cmp = [](const QueueItem &A, const QueueItem &B) {
+    return A.first > B.first;
+  };
+  using Queue =
+      std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(Cmp)>;
+  std::vector<Queue> Worklists(size_t(Cfg.MaxComponents) + 1, Queue(Cmp));
+  std::vector<double> SpentSeconds(Worklists.size(), 0.0);
+  Worklists[0].emplace(0.0, Hypothesis::tblHole());
+
+  auto PickClass = [&]() -> int {
+    int Best = -1;
+    for (size_t K = 0; K != Worklists.size(); ++K) {
+      if (Worklists[K].empty())
+        continue;
+      if (Best < 0) {
+        Best = int(K);
+        continue;
+      }
+      bool Better =
+          Cfg.FairSizeScheduling
+              ? SpentSeconds[K] < SpentSeconds[size_t(Best)]
+              : Worklists[K].top().first <
+                    Worklists[size_t(Best)].top().first;
+      if (Better)
+        Best = int(K);
+    }
+    return Best;
+  };
+
+  for (int Class = PickClass(); Class >= 0 && !expired();
+       Class = PickClass()) {
+    auto ClassStart = std::chrono::steady_clock::now();
+    HypPtr H = Worklists[size_t(Class)].top().second;
+    Worklists[size_t(Class)].pop();
+    ++Stats.HypothesesExplored;
+
+    // Line 8 of Algorithm 1: try to refute H before converting it into
+    // sketches (holes are only constrained to match *some* input).
+    bool Viable = true;
+    if (H->isApply() && Cfg.UseDeduction)
+      Viable = deduce(H);
+
+    if (Viable) {
+      for (const HypPtr &S : H->sketches(Inputs.size())) {
+        if (expired())
+          break;
+        ++Stats.SketchesGenerated;
+        if (S->isApply() && Cfg.UseDeduction && !deduce(S)) {
+          ++Stats.SketchesRefuted;
+          continue;
+        }
+        uint64_t CandBefore = Stats.CandidatesChecked;
+        auto SketchStart = std::chrono::steady_clock::now();
+        bool Found = fillSketch(S);
+        if (std::getenv("MORPHEUS_DEBUG")) {
+          std::fprintf(stderr, "[morpheus] sketch %-60s cand=%llu %.2fs\n",
+                       S->toString().c_str(),
+                       (unsigned long long)(Stats.CandidatesChecked -
+                                            CandBefore),
+                       std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - SketchStart)
+                           .count());
+        }
+        if (Found) {
+          Stats.ElapsedSeconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+          Stats.Deduce = Engine.stats();
+          return {Solution, Stats};
+        }
+      }
+    }
+
+    // Lines 16-18: refine the leftmost table hole with every component.
+    if (H->numApplies() < Cfg.MaxComponents && H->numTblHoles() > 0) {
+      for (const TableTransformer *X : Lib.TableTransformers) {
+        HypPtr Refined =
+            H->replaceLeftmostTblHole(Hypothesis::applyWithHoles(X));
+        size_t Size = Refined->numApplies();
+        if (Size <= Cfg.MaxComponents)
+          Worklists[Size].emplace(costOf(Refined), std::move(Refined));
+      }
+    }
+    SpentSeconds[size_t(Class)] += std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       ClassStart)
+                                       .count();
+  }
+
+  Stats.TimedOut = TimedOut;
+  Stats.ElapsedSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+  Stats.Deduce = Engine.stats();
+  return {nullptr, Stats};
+}
+
+} // namespace
+
+Synthesizer::Synthesizer(ComponentLibrary Lib, SynthesisConfig Cfg)
+    : Lib(std::move(Lib)), Cfg(Cfg) {}
+
+SynthesisResult Synthesizer::synthesize(const std::vector<Table> &Inputs,
+                                        const Table &Output) {
+  SearchContext Ctx(Lib, Cfg, Inputs, Output);
+  return Ctx.run();
+}

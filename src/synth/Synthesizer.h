@@ -1,0 +1,115 @@
+//===- synth/Synthesizer.h - Top-level synthesis algorithm ------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MORPHEUS synthesis algorithm (Section 5, Algorithm 1): a worklist of
+/// hypotheses ordered by an n-gram cost model, SMT-based deduction to
+/// refute hypotheses and sketches, and bottom-up sketch completion with
+/// table-driven type inhabitation and partial evaluation (Sections 6–7).
+///
+/// All the knobs the paper's evaluation varies are configuration:
+/// deduction on/off ("No deduction" column of Figure 16), Spec 1 vs Spec 2,
+/// partial evaluation on/off (Figure 17), and n-gram vs plain size ordering
+/// (ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SYNTH_SYNTHESIZER_H
+#define MORPHEUS_SYNTH_SYNTHESIZER_H
+
+#include "lang/Hypothesis.h"
+#include "ngram/NGramModel.h"
+#include "smt/Deduce.h"
+#include "synth/Inhabitation.h"
+
+#include <chrono>
+
+namespace morpheus {
+
+/// Configuration of one synthesis run.
+struct SynthesisConfig {
+  /// Specification family used by deduction.
+  SpecLevel Level = SpecLevel::Spec2;
+  /// Disables SMT deduction entirely (pure enumerative search with
+  /// concrete evaluation, the paper's "No deduction" baseline).
+  bool UseDeduction = true;
+  /// Disables partial evaluation inside deduction and candidate-universe
+  /// finitization from intermediate tables (Figure 17 ablation). Candidate
+  /// completion still evaluates final programs.
+  bool UsePartialEval = true;
+  /// Orders the worklist by the 2-gram model (Section 8); when false,
+  /// plain program size is used (ablation).
+  bool UseNGram = true;
+  /// Upper bound on the number of table transformers in a program.
+  unsigned MaxComponents = 5;
+  /// Wall-clock budget.
+  std::chrono::milliseconds Timeout{5000};
+  /// Weight of program size in the worklist cost (Occam's razor tie to the
+  /// n-gram score).
+  double SizeWeight = 4.0;
+  /// Compare candidate output to the expected table including row order
+  /// (set for tasks whose ground truth ends in `arrange`).
+  bool OrderedCompare = false;
+  /// Budget per sketch: candidate checks + partial fills before the
+  /// completion engine abandons the sketch and lets the worklist advance.
+  /// Bounds the damage of sketches whose (imprecise) specs survive
+  /// deduction but whose completion space is enormous; 0 disables.
+  uint64_t MaxWorkPerSketch = 100000;
+  /// Wall-clock slice per sketch completion (seconds; 0 disables). Work
+  /// units vary hugely in cost (intermediate tables can grow), so the
+  /// work cap alone does not bound a sketch's damage.
+  double MaxSecondsPerSketch = 8.0;
+  /// Time-fair scheduling across program-size classes — the sequential
+  /// analog of the paper's per-size search threads (Section 8). Helps
+  /// deep programs (5 components) at the cost of noisy times on small
+  /// ones; the default is the classic single cost-ordered worklist.
+  bool FairSizeScheduling = false;
+  InhabitationConfig Inhab;
+};
+
+/// Counters reported by the evaluation harness.
+struct SynthesisStats {
+  uint64_t HypothesesExplored = 0;
+  uint64_t SketchesGenerated = 0;
+  uint64_t SketchesRefuted = 0;
+  uint64_t PartialFillsPruned = 0;   ///< node fills rejected before the
+                                     ///< sketch was fully completed
+  uint64_t PartialFillsTried = 0;
+  uint64_t CandidatesChecked = 0;    ///< complete programs run against E
+  DeduceStats Deduce;
+  double ElapsedSeconds = 0;
+  bool TimedOut = false;
+};
+
+/// Result of SYNTHESIZE: the program (null on failure/timeout) and stats.
+struct SynthesisResult {
+  HypPtr Program;
+  SynthesisStats Stats;
+
+  explicit operator bool() const { return Program != nullptr; }
+};
+
+/// One synthesis engine instance. Not thread-safe; create one per thread.
+class Synthesizer {
+public:
+  Synthesizer(ComponentLibrary Lib, SynthesisConfig Cfg);
+
+  /// Algorithm 1: returns a complete program p with p(Inputs) == Output,
+  /// or a null program when the bounded search space is exhausted or the
+  /// timeout expires.
+  SynthesisResult synthesize(const std::vector<Table> &Inputs,
+                             const Table &Output);
+
+  const SynthesisConfig &config() const { return Cfg; }
+
+private:
+  ComponentLibrary Lib;
+  SynthesisConfig Cfg;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SYNTH_SYNTHESIZER_H

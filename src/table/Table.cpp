@@ -1,0 +1,147 @@
+//===- table/Table.cpp - Data frame substrate ------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/Table.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace morpheus;
+
+std::optional<size_t> Schema::indexOf(std::string_view Name) const {
+  for (size_t I = 0, E = Cols.size(); I != E; ++I)
+    if (Cols[I].Name == Name)
+      return I;
+  return std::nullopt;
+}
+
+std::vector<std::string> Schema::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Cols.size());
+  for (const Column &C : Cols)
+    Names.push_back(C.Name);
+  return Names;
+}
+
+Table::Table(Schema S, std::vector<Row> R)
+    : TableSchema(std::move(S)), Rows(std::move(R)) {
+#ifndef NDEBUG
+  for (const Row &Rw : Rows)
+    assert(Rw.size() == TableSchema.size() && "row width != schema width");
+#endif
+}
+
+std::vector<Value> Table::column(std::string_view Name) const {
+  std::optional<size_t> Idx = TableSchema.indexOf(Name);
+  assert(Idx && "no such column");
+  std::vector<Value> Out;
+  Out.reserve(Rows.size());
+  for (const Row &R : Rows)
+    Out.push_back(R[*Idx]);
+  return Out;
+}
+
+std::vector<std::vector<size_t>> Table::groupedRowIndices() const {
+  if (GroupCols.empty()) {
+    std::vector<size_t> All(Rows.size());
+    for (size_t I = 0; I != Rows.size(); ++I)
+      All[I] = I;
+    return {All};
+  }
+  std::vector<size_t> KeyIdx;
+  for (const std::string &G : GroupCols) {
+    std::optional<size_t> Idx = TableSchema.indexOf(G);
+    assert(Idx && "grouping column missing from schema");
+    KeyIdx.push_back(*Idx);
+  }
+  // std::map keyed on the printed group key keeps group order deterministic;
+  // we then re-order by first appearance to match dplyr.
+  std::map<std::string, size_t> KeyToGroup;
+  std::vector<std::vector<size_t>> Groups;
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    std::string Key;
+    for (size_t K : KeyIdx) {
+      Key += Rows[R][K].toString();
+      Key += '\x1f';
+      Key += Rows[R][K].isStr() ? 's' : 'n';
+      Key += '\x1f';
+    }
+    auto [It, Inserted] = KeyToGroup.try_emplace(Key, Groups.size());
+    if (Inserted)
+      Groups.emplace_back();
+    Groups[It->second].push_back(R);
+  }
+  return Groups;
+}
+
+size_t Table::numGroups() const { return groupedRowIndices().size(); }
+
+static bool rowLess(const Row &A, const Row &B) {
+  for (size_t I = 0, E = std::min(A.size(), B.size()); I != E; ++I) {
+    if (A[I] < B[I])
+      return true;
+    if (B[I] < A[I])
+      return false;
+  }
+  return A.size() < B.size();
+}
+
+Table Table::sortedByAllColumns() const {
+  Table Out = *this;
+  std::stable_sort(Out.Rows.begin(), Out.Rows.end(), rowLess);
+  return Out;
+}
+
+bool Table::equalsOrdered(const Table &Other) const {
+  return TableSchema == Other.TableSchema && Rows.size() == Other.Rows.size() &&
+         std::equal(Rows.begin(), Rows.end(), Other.Rows.begin());
+}
+
+bool Table::equalsUnordered(const Table &Other) const {
+  if (!(TableSchema == Other.TableSchema) || Rows.size() != Other.Rows.size())
+    return false;
+  return sortedByAllColumns().equalsOrdered(Other.sortedByAllColumns());
+}
+
+std::string Table::toString() const {
+  std::vector<size_t> Widths(numCols());
+  for (size_t C = 0; C != numCols(); ++C)
+    Widths[C] = TableSchema[C].Name.size();
+  std::vector<std::vector<std::string>> Cells;
+  Cells.reserve(Rows.size());
+  for (const Row &R : Rows) {
+    std::vector<std::string> Line;
+    Line.reserve(R.size());
+    for (size_t C = 0; C != R.size(); ++C) {
+      Line.push_back(R[C].toString());
+      Widths[C] = std::max(Widths[C], Line.back().size());
+    }
+    Cells.push_back(std::move(Line));
+  }
+  std::ostringstream OS;
+  auto EmitRow = [&](auto Get) {
+    for (size_t C = 0; C != numCols(); ++C) {
+      std::string S = Get(C);
+      OS << S << std::string(Widths[C] - S.size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+  EmitRow([&](size_t C) { return TableSchema[C].Name; });
+  for (const auto &Line : Cells)
+    EmitRow([&](size_t C) { return Line[C]; });
+  if (isGrouped()) {
+    OS << "# groups:";
+    for (const std::string &G : GroupCols)
+      OS << ' ' << G;
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+Table morpheus::makeTable(std::vector<Column> Cols, std::vector<Row> Rows) {
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}

@@ -1,0 +1,136 @@
+//===- table/Table.h - Data frame substrate ---------------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Schema and Table, the data-frame substrate the synthesizer and
+/// the component library operate on. A Table is the tuple (r, c, τ, ς) of
+/// Definition 1 plus dplyr-style grouping metadata: group_by returns a
+/// "grouped data frame" whose grouping columns change the behaviour of
+/// summarise/mutate and the abstract `group` attribute of Spec 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_TABLE_TABLE_H
+#define MORPHEUS_TABLE_TABLE_H
+
+#include "table/Value.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// One column of a schema: a name and a cell type.
+struct Column {
+  std::string Name;
+  CellType Type;
+
+  bool operator==(const Column &Other) const {
+    return Name == Other.Name && Type == Other.Type;
+  }
+};
+
+/// An ordered list of named, typed columns (the record type of Def. 1).
+class Schema {
+public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> Cols) : Cols(std::move(Cols)) {}
+
+  size_t size() const { return Cols.size(); }
+  const Column &operator[](size_t I) const { return Cols[I]; }
+  const std::vector<Column> &columns() const { return Cols; }
+
+  /// Returns the index of the column named \p Name, or nullopt.
+  std::optional<size_t> indexOf(std::string_view Name) const;
+  bool contains(std::string_view Name) const {
+    return indexOf(Name).has_value();
+  }
+
+  /// Appends a column; the caller must keep rows in sync.
+  void append(Column C) { Cols.push_back(std::move(C)); }
+
+  /// All column names, in schema order.
+  std::vector<std::string> names() const;
+
+  bool operator==(const Schema &Other) const { return Cols == Other.Cols; }
+
+private:
+  std::vector<Column> Cols;
+};
+
+using Row = std::vector<Value>;
+
+/// A data frame: schema + row-major cells + optional grouping columns.
+class Table {
+public:
+  Table() = default;
+  Table(Schema S, std::vector<Row> Rows);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numCols() const { return TableSchema.size(); }
+
+  const Schema &schema() const { return TableSchema; }
+  const std::vector<Row> &rows() const { return Rows; }
+  std::vector<Row> &rows() { return Rows; }
+
+  const Value &at(size_t R, size_t C) const {
+    assert(R < Rows.size() && C < TableSchema.size() && "cell out of range");
+    return Rows[R][C];
+  }
+
+  /// Returns the cells of the column named \p Name; asserts it exists.
+  std::vector<Value> column(std::string_view Name) const;
+
+  /// Grouping metadata (dplyr grouped_df). Empty means ungrouped.
+  const std::vector<std::string> &groupCols() const { return GroupCols; }
+  void setGroupCols(std::vector<std::string> Cols) {
+    GroupCols = std::move(Cols);
+  }
+  bool isGrouped() const { return !GroupCols.empty(); }
+
+  /// Number of groups: distinct combinations of the grouping columns, or 1
+  /// when ungrouped (the Spec 2 `group` attribute, Appendix A).
+  size_t numGroups() const;
+
+  /// Partition of row indices by grouping columns; a single group with all
+  /// rows when ungrouped. Groups are ordered by first appearance.
+  std::vector<std::vector<size_t>> groupedRowIndices() const;
+
+  /// Schema-and-content equality with rows treated as a multiset. Column
+  /// names and order must match; row order is ignored (dplyr does not
+  /// guarantee row order for most verbs).
+  bool equalsUnordered(const Table &Other) const;
+
+  /// Exact equality including row order (used when `arrange` makes row
+  /// order observable).
+  bool equalsOrdered(const Table &Other) const;
+
+  /// Sorts rows lexicographically by all columns (canonical form).
+  Table sortedByAllColumns() const;
+
+  /// Renders an aligned ASCII view (for examples, tests and debugging).
+  std::string toString() const;
+
+private:
+  Schema TableSchema;
+  std::vector<Row> Rows;
+  std::vector<std::string> GroupCols;
+};
+
+/// Convenience builder used throughout tests, examples and the benchmark
+/// suite:
+///   makeTable({{"id", CellType::Num}, {"name", CellType::Str}},
+///             {{Value::number(1), Value::str("Alice")}, ...})
+Table makeTable(std::vector<Column> Cols, std::vector<Row> Rows);
+
+/// Shorthand cell constructors (heavily used by the suite and tests).
+inline Value num(double N) { return Value::number(N); }
+inline Value str(std::string S) { return Value::str(std::move(S)); }
+
+} // namespace morpheus
+
+#endif // MORPHEUS_TABLE_TABLE_H

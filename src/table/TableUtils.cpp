@@ -1,0 +1,63 @@
+//===- table/TableUtils.cpp - Table set utilities ---------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/TableUtils.h"
+
+#include <unordered_set>
+
+using namespace morpheus;
+
+std::set<std::string> morpheus::headerSet(const Table &T) {
+  std::set<std::string> Out;
+  for (const Column &C : T.schema().columns())
+    Out.insert(C.Name);
+  return Out;
+}
+
+std::set<std::string> morpheus::valueSet(const Table &T) {
+  std::set<std::string> Out = headerSet(T);
+  for (const Row &R : T.rows())
+    for (const Value &V : R)
+      Out.insert(V.toString());
+  return Out;
+}
+
+std::set<std::string> morpheus::headerSet(const std::vector<Table> &Tables) {
+  std::set<std::string> Out;
+  for (const Table &T : Tables)
+    Out.merge(headerSet(T));
+  return Out;
+}
+
+std::set<std::string> morpheus::valueSet(const std::vector<Table> &Tables) {
+  std::set<std::string> Out;
+  for (const Table &T : Tables)
+    Out.merge(valueSet(T));
+  return Out;
+}
+
+size_t morpheus::countNotIn(const std::set<std::string> &A,
+                            const std::set<std::string> &B) {
+  size_t N = 0;
+  for (const std::string &S : A)
+    if (!B.count(S))
+      ++N;
+  return N;
+}
+
+std::vector<Value> morpheus::distinctColumnValues(const Table &T,
+                                                  std::string_view Name) {
+  std::vector<Value> Out;
+  std::unordered_set<std::string> Seen;
+  std::optional<size_t> Idx = T.schema().indexOf(Name);
+  assert(Idx && "no such column");
+  for (const Row &R : T.rows()) {
+    const Value &V = R[*Idx];
+    if (Seen.insert(V.toString() + (V.isStr() ? "#s" : "#n")).second)
+      Out.push_back(V);
+  }
+  return Out;
+}

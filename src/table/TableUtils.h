@@ -1,0 +1,47 @@
+//===- table/TableUtils.h - Table set utilities -----------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-valued views of tables used by the abstraction function α (Spec 2's
+/// newCols/newVals attributes, Appendix A Example 13) and by table-driven
+/// type inhabitation (the Const and Cols rules of Figure 13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_TABLE_TABLEUTILS_H
+#define MORPHEUS_TABLE_TABLEUTILS_H
+
+#include "table/Table.h"
+
+#include <set>
+#include <string>
+
+namespace morpheus {
+
+/// The set of column names of \p T (Sh in Example 13).
+std::set<std::string> headerSet(const Table &T);
+
+/// The set of printed cell values of \p T plus its column names (Sc in
+/// Example 13; "new values includes both new column names as well as cell
+/// values").
+std::set<std::string> valueSet(const Table &T);
+
+/// Union of headerSet over several tables.
+std::set<std::string> headerSet(const std::vector<Table> &Tables);
+
+/// Union of valueSet over several tables.
+std::set<std::string> valueSet(const std::vector<Table> &Tables);
+
+/// Number of elements of \p A not present in \p B (|A - B|).
+size_t countNotIn(const std::set<std::string> &A,
+                  const std::set<std::string> &B);
+
+/// Distinct values of column \p Name of \p T, in first-appearance order.
+std::vector<Value> distinctColumnValues(const Table &T, std::string_view Name);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_TABLE_TABLEUTILS_H

@@ -1,0 +1,58 @@
+//===- table/Value.cpp - Table cell values --------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/Value.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace morpheus;
+
+std::string_view morpheus::cellTypeName(CellType T) {
+  return T == CellType::Num ? "num" : "str";
+}
+
+std::string Value::toString() const {
+  if (isStr())
+    return Str;
+  double N = Num;
+  if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", N);
+    return Buf;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.7g", N);
+  return Buf;
+}
+
+bool Value::operator==(const Value &Other) const {
+  if (Type != Other.Type)
+    return false;
+  if (isStr())
+    return Str == Other.Str;
+  if (Num == Other.Num)
+    return true;
+  // Tolerant comparison for derived numeric cells (e.g. 2/3 printed as
+  // 0.6666667 in the paper's Example 2).
+  double Scale = std::fmax(std::fabs(Num), std::fabs(Other.Num));
+  return std::fabs(Num - Other.Num) <= 1e-9 * std::fmax(Scale, 1.0);
+}
+
+bool Value::operator<(const Value &Other) const {
+  if (Type != Other.Type)
+    return Type == CellType::Num; // numbers order before strings
+  if (isNum())
+    return Num < Other.Num && !(*this == Other);
+  return Str < Other.Str;
+}
+
+size_t Value::hash() const {
+  // Hash the printed form so tolerant numeric equality and hashing agree for
+  // all values that arise in practice (printed at 7 significant digits).
+  return std::hash<std::string>()(toString()) ^
+         (isStr() ? size_t(0x9e3779b97f4a7c15ULL) : 0);
+}

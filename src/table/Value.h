@@ -1,0 +1,102 @@
+//===- table/Value.h - Table cell values ------------------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Value, the cell domain of tables. Following the paper
+/// (Definition 1), a cell is either a number (num) or a string. Numbers are
+/// stored as doubles; integral values print without a fractional part so
+/// synthesized tables render like the R data frames in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_TABLE_VALUE_H
+#define MORPHEUS_TABLE_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace morpheus {
+
+/// The two cell types of Definition 1.
+enum class CellType { Num, Str };
+
+/// Returns a printable name ("num" / "str") for \p T.
+std::string_view cellTypeName(CellType T);
+
+/// A single table cell: a number or a string.
+///
+/// Values are totally ordered (numbers before strings, numbers by value,
+/// strings lexicographically) so tables can be sorted deterministically.
+class Value {
+public:
+  Value() : Type(CellType::Num), Num(0) {}
+
+  /// Creates a numeric value.
+  static Value number(double N) {
+    Value V;
+    V.Type = CellType::Num;
+    V.Num = N;
+    return V;
+  }
+
+  /// Creates a string value.
+  static Value str(std::string S) {
+    Value V;
+    V.Type = CellType::Str;
+    V.Num = 0;
+    V.Str = std::move(S);
+    return V;
+  }
+
+  CellType type() const { return Type; }
+  bool isNum() const { return Type == CellType::Num; }
+  bool isStr() const { return Type == CellType::Str; }
+
+  double num() const {
+    assert(isNum() && "not a numeric cell");
+    return Num;
+  }
+
+  const std::string &strVal() const {
+    assert(isStr() && "not a string cell");
+    return Str;
+  }
+
+  /// Renders the value the way R prints data-frame cells: integral numbers
+  /// without a decimal point, other numbers with up to 7 significant digits.
+  std::string toString() const;
+
+  /// Exact structural equality. Numeric comparison uses a small relative
+  /// tolerance so values that round-trip through arithmetic (e.g. the
+  /// proportions of motivating Example 2) still compare equal.
+  bool operator==(const Value &Other) const;
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  /// Total order: num < str; nums by value; strings lexicographically.
+  bool operator<(const Value &Other) const;
+
+  /// Hash usable with unordered containers; consistent with operator== for
+  /// values produced by toString-stable arithmetic (strings hash their
+  /// contents; numbers hash their printed form so tolerant equality and
+  /// hashing agree).
+  size_t hash() const;
+
+private:
+  CellType Type;
+  double Num;
+  std::string Str;
+};
+
+struct ValueHash {
+  size_t operator()(const Value &V) const { return V.hash(); }
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_TABLE_VALUE_H

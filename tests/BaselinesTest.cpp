@@ -1,0 +1,111 @@
+//===- tests/BaselinesTest.cpp - Baseline synthesizers -------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Lambda2.h"
+#include "baselines/SqlSynthesizer.h"
+#include "suite/Task.h"
+
+#include <gtest/gtest.h>
+
+using namespace morpheus;
+using namespace morpheus::pb;
+
+namespace {
+
+constexpr std::chrono::milliseconds Budget{10000};
+
+TEST(SqlSynthesizer, SolvesProjection) {
+  const BenchmarkTask &T = sqlSuite()[0]; // names and salaries
+  SqlSynthesisResult R =
+      synthesizeSql(T.Inputs, T.Output, Budget, T.OrderedCompare);
+  ASSERT_TRUE(R);
+  std::optional<Table> Out = R.Program->evaluate(T.Inputs);
+  ASSERT_TRUE(Out);
+  EXPECT_TRUE(Out->equalsUnordered(T.Output));
+}
+
+TEST(SqlSynthesizer, SolvesGroupedAggregateAndJoin) {
+  size_t Solved = 0;
+  for (const BenchmarkTask &T : sqlSuite()) {
+    SqlSynthesisResult R =
+        synthesizeSql(T.Inputs, T.Output, Budget, T.OrderedCompare);
+    if (!R)
+      continue;
+    ++Solved;
+    std::optional<Table> Out = R.Program->evaluate(T.Inputs);
+    ASSERT_TRUE(Out);
+    EXPECT_TRUE(T.OrderedCompare ? Out->equalsOrdered(T.Output)
+                                 : Out->equalsUnordered(T.Output))
+        << T.Id;
+  }
+  // The baseline should solve a majority of the SQL-expressible tasks
+  // (paper: 71.4%).
+  EXPECT_GE(Solved, sqlSuite().size() / 2) << "solved " << Solved;
+}
+
+TEST(SqlSynthesizer, CannotExpressReshaping) {
+  // Motivating Example 1 (gather+unite+spread) is outside SPJA.
+  const BenchmarkTask *T = nullptr;
+  for (const BenchmarkTask &B : morpheusSuite())
+    if (B.Id == "C3-01")
+      T = &B;
+  ASSERT_NE(T, nullptr);
+  SqlSynthesisResult R =
+      synthesizeSql(T->Inputs, T->Output, std::chrono::milliseconds(3000));
+  EXPECT_FALSE(R);
+}
+
+TEST(Lambda2, SolvesToyProjectionAndSelection) {
+  Table T = makeTable({{"a", CellType::Num}, {"b", CellType::Num}},
+                      {{num(1), num(10)}, {num(2), num(20)}, {num(3), num(30)}});
+  ListOfLists In = encodeAsLists(T);
+  // Projection of column 1.
+  ListOfLists Proj = {{num(10)}, {num(20)}, {num(30)}};
+  Lambda2Result R1 = synthesizeLambda2({In}, Proj, Budget);
+  EXPECT_TRUE(R1.Solved);
+  // Selection of rows with a > 1.
+  ListOfLists Sel = {{num(2), num(20)}, {num(3), num(30)}};
+  Lambda2Result R2 = synthesizeLambda2({In}, Sel, Budget);
+  EXPECT_TRUE(R2.Solved);
+  EXPECT_NE(R2.Program.find("filter"), std::string::npos);
+}
+
+TEST(Lambda2, CannotReshapeOrAggregate) {
+  // A task needing spread (C1-01) is outside the combinator space.
+  const BenchmarkTask &T = morpheusSuite().front();
+  std::vector<ListOfLists> Inputs;
+  for (const Table &I : T.Inputs)
+    Inputs.push_back(encodeAsLists(I));
+  Lambda2Result R =
+      synthesizeLambda2(Inputs, encodeAsLists(T.Output),
+                        std::chrono::milliseconds(3000));
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(Suite, StructureMatchesFigure16) {
+  const auto &S = morpheusSuite();
+  ASSERT_EQ(S.size(), 80u);
+  std::map<std::string, size_t> Counts;
+  for (const BenchmarkTask &T : S) {
+    ++Counts[T.Category];
+    // Every task's expected output is its ground truth's evaluation.
+    std::optional<Table> Out = T.GroundTruth->evaluate(T.Inputs);
+    ASSERT_TRUE(Out) << T.Id;
+    EXPECT_TRUE(Out->equalsOrdered(T.Output)) << T.Id;
+  }
+  EXPECT_EQ(Counts["C1"], 4u);
+  EXPECT_EQ(Counts["C2"], 7u);
+  EXPECT_EQ(Counts["C3"], 34u);
+  EXPECT_EQ(Counts["C4"], 14u);
+  EXPECT_EQ(Counts["C5"], 11u);
+  EXPECT_EQ(Counts["C6"], 2u);
+  EXPECT_EQ(Counts["C7"], 1u);
+  EXPECT_EQ(Counts["C8"], 6u);
+  EXPECT_EQ(Counts["C9"], 1u);
+  EXPECT_EQ(sqlSuite().size(), 28u);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/SmokeTest.cpp - End-to-end sanity --------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast end-to-end checks that the full pipeline (components, deduction,
+/// inhabitation, search) synthesizes the paper's worked examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace morpheus;
+
+namespace {
+
+SynthesisResult synth(const std::vector<Table> &Inputs, const Table &Output,
+                      SynthesisConfig Cfg = {}) {
+  Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
+  return S.synthesize(Inputs, Output);
+}
+
+/// Figure 6: project two columns.
+TEST(Smoke, SimpleSelect) {
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num},
+                        {"GPA", CellType::Num}},
+                       {{num(1), str("Alice"), num(8), num(4.0)},
+                        {num(2), str("Bob"), num(18), num(3.2)},
+                        {num(3), str("Tom"), num(12), num(3.0)}});
+  Table Out = makeTable({{"name", CellType::Str}, {"age", CellType::Num}},
+                        {{str("Alice"), num(8)},
+                         {str("Bob"), num(18)},
+                         {str("Tom"), num(12)}});
+  SynthesisResult R = synth({In}, Out);
+  ASSERT_TRUE(R);
+  std::optional<Table> T = R.Program->evaluate({In});
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(T->equalsUnordered(Out));
+}
+
+/// Example 12: filter then project.
+TEST(Smoke, FilterProject) {
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num},
+                        {"GPA", CellType::Num}},
+                       {{num(1), str("Alice"), num(8), num(4.0)},
+                        {num(2), str("Bob"), num(18), num(3.2)},
+                        {num(3), str("Tom"), num(12), num(3.0)}});
+  Table Out = makeTable({{"id", CellType::Num},
+                         {"name", CellType::Str},
+                         {"age", CellType::Num}},
+                        {{num(2), str("Bob"), num(18)},
+                         {num(3), str("Tom"), num(12)}});
+  SynthesisResult R = synth({In}, Out);
+  ASSERT_TRUE(R);
+  std::optional<Table> T = R.Program->evaluate({In});
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(T->equalsUnordered(Out));
+}
+
+/// Motivating Example 2: flights to Seattle — filter, group_by+summarise,
+/// mutate with sum(n).
+TEST(Smoke, FlightsExample) {
+  Table In = makeTable({{"flight", CellType::Num},
+                        {"origin", CellType::Str},
+                        {"dest", CellType::Str}},
+                       {{num(11), str("EWR"), str("SEA")},
+                        {num(725), str("JFK"), str("BQN")},
+                        {num(495), str("JFK"), str("SEA")},
+                        {num(461), str("LGA"), str("ATL")},
+                        {num(1696), str("EWR"), str("ORD")},
+                        {num(1670), str("EWR"), str("SEA")}});
+  Table Out = makeTable({{"origin", CellType::Str},
+                         {"n", CellType::Num},
+                         {"prop", CellType::Num}},
+                        {{str("EWR"), num(2), num(2.0 / 3.0)},
+                         {str("JFK"), num(1), num(1.0 / 3.0)}});
+  SynthesisConfig Cfg;
+  Cfg.Timeout = std::chrono::milliseconds(30000);
+  SynthesisResult R = synth({In}, Out, Cfg);
+  ASSERT_TRUE(R);
+  std::optional<Table> T = R.Program->evaluate({In});
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(T->equalsUnordered(Out));
+}
+
+} // namespace

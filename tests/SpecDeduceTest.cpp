@@ -1,0 +1,207 @@
+//===- tests/SpecDeduceTest.cpp - Specs, α and DEDUCE --------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the abstraction function (Appendix A Example 13), the DEDUCE
+/// procedure on the paper's worked Examples 10 and 12, and the key
+/// *spec-soundness* property: every concrete component application
+/// satisfies its own Spec 1 and Spec 2 formulas — the invariant the whole
+/// pruning approach rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+#include "smt/Deduce.h"
+#include "suite/Task.h"
+
+#include <gtest/gtest.h>
+
+using namespace morpheus;
+using namespace morpheus::pb;
+
+namespace {
+
+Table paperExample1Input() {
+  return makeTable({{"id", CellType::Num},
+                    {"year", CellType::Num},
+                    {"A", CellType::Num},
+                    {"B", CellType::Num}},
+                   {{num(1), num(2007), num(5), num(10)},
+                    {num(2), num(2009), num(3), num(50)},
+                    {num(1), num(2007), num(5), num(17)},
+                    {num(2), num(2009), num(6), num(17)}});
+}
+
+Table paperExample1Output() {
+  return makeTable({{"id", CellType::Num},
+                    {"A_2007", CellType::Num},
+                    {"B_2007", CellType::Num},
+                    {"A_2009", CellType::Num},
+                    {"B_2009", CellType::Num}},
+                   {{num(1), num(5), num(10), num(5), num(17)},
+                    {num(2), num(3), num(50), num(6), num(17)}});
+}
+
+/// Appendix A, Example 13: the abstraction of the Example 1 output has
+/// newCols = newVals = 4 against the input's base sets.
+TEST(Abstraction, PaperExample13) {
+  Table In = paperExample1Input();
+  Table Out = paperExample1Output();
+  ExampleBase Base = ExampleBase::fromInputs({In});
+  AttrValues InA = abstractTable(In, Base);
+  EXPECT_EQ(InA.NewCols, 0);
+  EXPECT_EQ(InA.NewVals, 0);
+  EXPECT_EQ(InA.Row, 4);
+  EXPECT_EQ(InA.Col, 4);
+  AttrValues OutA = abstractTable(Out, Base);
+  EXPECT_EQ(OutA.NewCols, 4);
+  EXPECT_EQ(OutA.NewVals, 4);
+  EXPECT_EQ(OutA.Row, 2);
+  EXPECT_EQ(OutA.Col, 5);
+}
+
+/// Appendix A, Example 13 continued: the hypothesis spread(x0, ?, ?) is
+/// satisfiable under Spec 1 but refuted under Spec 2 (the four new column
+/// names cannot come from a table with no new values).
+TEST(Deduce, PaperExample13SpreadRefutation) {
+  Table In = paperExample1Input();
+  Table Out = paperExample1Output();
+  const TableTransformer *Spread = StandardComponents::get().find("spread");
+  HypPtr H = Hypothesis::apply(
+      Spread, {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::ColName),
+               Hypothesis::valueHole(ParamKind::ColName)});
+  DeductionEngine E({In}, Out);
+  EXPECT_TRUE(E.deduce(H, SpecLevel::Spec1, true));
+  EXPECT_FALSE(E.deduce(H, SpecLevel::Spec2, true));
+}
+
+/// Example 10: π(σ(x1)) cannot produce an output with as many columns as
+/// the input, because select strictly drops columns.
+TEST(Deduce, PaperExample10) {
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num},
+                        {"GPA", CellType::Num}},
+                       {{num(1), str("Alice"), num(8), num(4.0)},
+                        {num(2), str("Bob"), num(18), num(3.2)},
+                        {num(3), str("Tom"), num(12), num(3.0)}});
+  // Output with the same number of columns as the input (Fig. 8's T2).
+  Table Out(In.schema(), {In.rows()[1], In.rows()[2]});
+  const TableTransformer *Select = StandardComponents::get().find("select");
+  const TableTransformer *Filter = StandardComponents::get().find("filter");
+  HypPtr Sigma = Hypothesis::apply(
+      Filter, {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::Pred)});
+  HypPtr Pi = Hypothesis::apply(
+      Select, {Sigma, Hypothesis::valueHole(ParamKind::Cols)});
+  DeductionEngine E({In}, Out);
+  EXPECT_FALSE(E.deduce(Pi, SpecLevel::Spec1, true));
+}
+
+/// Example 12: after filling σ's predicate with age > 12, partial
+/// evaluation makes the intermediate table concrete (1 row) and the sketch
+/// is refuted without filling the projection hole.
+TEST(Deduce, PaperExample12PartialEvaluation) {
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num},
+                        {"GPA", CellType::Num}},
+                       {{num(1), str("Alice"), num(8), num(4.0)},
+                        {num(2), str("Bob"), num(18), num(3.2)},
+                        {num(3), str("Tom"), num(12), num(3.0)}});
+  // Figure 15's T3: two rows, three columns.
+  Table Out = makeTable({{"id", CellType::Num},
+                         {"name", CellType::Str},
+                         {"age", CellType::Num}},
+                        {{num(2), str("Bob"), num(18)},
+                         {num(3), str("Tom"), num(12)}});
+  const TableTransformer *Select = StandardComponents::get().find("select");
+  HypPtr Sigma = filter(in(0), "age", ">", num(12)); // the wrong predicate
+  HypPtr Pi = Hypothesis::apply(
+      Select, {Sigma, Hypothesis::valueHole(ParamKind::Cols)});
+  DeductionEngine E({In}, Out);
+  // With partial evaluation the filled sketch is refuted...
+  EXPECT_FALSE(E.deduce(Pi, SpecLevel::Spec1, true));
+  // ...without it, the specs alone cannot reject it.
+  EXPECT_TRUE(E.deduce(Pi, SpecLevel::Spec1, false));
+}
+
+/// DEDUCE is sound: it never refutes the ground truth of a suite task.
+TEST(Deduce, NeverRefutesGroundTruth) {
+  for (const BenchmarkTask &T : morpheusSuite()) {
+    DeductionEngine E(T.Inputs, T.Output);
+    EXPECT_TRUE(E.deduce(T.GroundTruth, SpecLevel::Spec1, true))
+        << "Spec1 refuted " << T.Id;
+    EXPECT_TRUE(E.deduce(T.GroundTruth, SpecLevel::Spec2, true))
+        << "Spec2 refuted " << T.Id;
+  }
+}
+
+/// Spec soundness: every node of every suite ground truth satisfies its
+/// component's Spec 1 and Spec 2 when evaluated concretely — checked with
+/// the direct (non-SMT) evaluator. Group atoms are skipped (the group
+/// attribute is abstract; see spec/Abstraction.h).
+class SpecSoundness : public ::testing::TestWithParam<size_t> {};
+
+bool mentionsGroup(const SpecExpr &E) {
+  if (E.K == SpecExpr::Kind::Const)
+    return false;
+  if (E.K == SpecExpr::Kind::Attr)
+    return E.Attr == TableAttr::Group;
+  return mentionsGroup(*E.Lhs) || mentionsGroup(*E.Rhs);
+}
+
+void checkNode(const HypPtr &H, const std::vector<Table> &Inputs,
+               const ExampleBase &Base, SpecLevel Level,
+               const std::string &TaskId) {
+  if (!H->isApply())
+    return;
+  for (const HypPtr &C : H->children())
+    if (C->isTableTyped())
+      checkNode(C, Inputs, Base, Level, TaskId);
+  std::vector<AttrValues> Args;
+  for (const HypPtr &C : H->children()) {
+    if (!C->isTableTyped())
+      continue;
+    std::optional<Table> T = C->evaluate(Inputs);
+    ASSERT_TRUE(T);
+    Args.push_back(abstractTable(*T, Base));
+  }
+  std::optional<Table> Result = H->evaluate(Inputs);
+  ASSERT_TRUE(Result);
+  AttrValues Res = abstractTable(*Result, Base);
+  SpecFormula NonGroup;
+  for (const SpecAtom &A : H->component()->spec(Level).Atoms)
+    if (!mentionsGroup(*A.Lhs) && !mentionsGroup(*A.Rhs))
+      NonGroup.Atoms.push_back(A);
+  EXPECT_TRUE(evalSpec(NonGroup, Args, Res))
+      << TaskId << ": " << H->component()->name()
+      << " violates: " << NonGroup.toString();
+}
+
+TEST_P(SpecSoundness, GroundTruthSatisfiesSpecs) {
+  const BenchmarkTask &T = morpheusSuite()[GetParam()];
+  ExampleBase Base = ExampleBase::fromInputs(T.Inputs);
+  checkNode(T.GroundTruth, T.Inputs, Base, SpecLevel::Spec1, T.Id);
+  checkNode(T.GroundTruth, T.Inputs, Base, SpecLevel::Spec2, T.Id);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, SpecSoundness,
+                         ::testing::Range(size_t(0), size_t(80)));
+
+/// The spec DSL evaluator agrees with hand-computed arithmetic.
+TEST(SpecDsl, EvaluatorAndPrinting) {
+  using namespace morpheus::specdsl;
+  SpecFormula F{{outA(TableAttr::Row) <= inA(0, TableAttr::Row),
+                 outA(TableAttr::Col) ==
+                     smax(inA(0, TableAttr::Col), lit(3))}};
+  AttrValues In{10, 4, 1, 0, 0};
+  EXPECT_TRUE(evalSpec(F, {In}, AttrValues{5, 4, 1, 0, 0}));
+  EXPECT_FALSE(evalSpec(F, {In}, AttrValues{11, 4, 1, 0, 0}));
+  EXPECT_FALSE(evalSpec(F, {In}, AttrValues{5, 5, 1, 0, 0}));
+  EXPECT_NE(F.toString().find("Tout.row <= Tin1.row"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/TableTest.cpp - Table substrate unit tests -----------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/Table.h"
+#include "table/TableUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace morpheus;
+
+namespace {
+
+Table roster() {
+  return makeTable({{"id", CellType::Num},
+                    {"name", CellType::Str},
+                    {"age", CellType::Num}},
+                   {{num(1), str("Alice"), num(8)},
+                    {num(2), str("Bob"), num(18)},
+                    {num(3), str("Tom"), num(12)}});
+}
+
+TEST(Value, NumberPrinting) {
+  EXPECT_EQ(num(3).toString(), "3");
+  EXPECT_EQ(num(3.5).toString(), "3.5");
+  EXPECT_EQ(num(2.0 / 3.0).toString(), "0.6666667");
+  EXPECT_EQ(num(-12).toString(), "-12");
+}
+
+TEST(Value, TolerantNumericEquality) {
+  EXPECT_EQ(num(0.1 + 0.2), num(0.3));
+  EXPECT_NE(num(0.3001), num(0.3));
+  EXPECT_NE(num(1), str("1"));
+}
+
+TEST(Value, Ordering) {
+  EXPECT_LT(num(1), num(2));
+  EXPECT_LT(num(999), str("a")); // numbers order before strings
+  EXPECT_LT(str("a"), str("b"));
+  EXPECT_FALSE(num(2) < num(2));
+}
+
+TEST(Schema, IndexOf) {
+  Table T = roster();
+  EXPECT_EQ(T.schema().indexOf("name"), 1u);
+  EXPECT_FALSE(T.schema().indexOf("ghost").has_value());
+  EXPECT_EQ(T.schema().names(),
+            (std::vector<std::string>{"id", "name", "age"}));
+}
+
+TEST(Table, CellAccess) {
+  Table T = roster();
+  EXPECT_EQ(T.numRows(), 3u);
+  EXPECT_EQ(T.numCols(), 3u);
+  EXPECT_EQ(T.at(1, 1), str("Bob"));
+  EXPECT_EQ(T.column("age"),
+            (std::vector<Value>{num(8), num(18), num(12)}));
+}
+
+TEST(Table, UnorderedEqualityIgnoresRowOrder) {
+  Table A = roster();
+  Table B = makeTable({{"id", CellType::Num},
+                       {"name", CellType::Str},
+                       {"age", CellType::Num}},
+                      {{num(3), str("Tom"), num(12)},
+                       {num(1), str("Alice"), num(8)},
+                       {num(2), str("Bob"), num(18)}});
+  EXPECT_TRUE(A.equalsUnordered(B));
+  EXPECT_FALSE(A.equalsOrdered(B));
+}
+
+TEST(Table, EqualityIsSchemaSensitive) {
+  Table A = roster();
+  Table B = makeTable({{"id", CellType::Num},
+                       {"fullname", CellType::Str},
+                       {"age", CellType::Num}},
+                      A.rows());
+  EXPECT_FALSE(A.equalsUnordered(B));
+}
+
+TEST(Table, GroupingMetadata) {
+  Table T = makeTable({{"k", CellType::Str}, {"v", CellType::Num}},
+                      {{str("a"), num(1)},
+                       {str("b"), num(2)},
+                       {str("a"), num(3)}});
+  EXPECT_EQ(T.numGroups(), 1u);
+  T.setGroupCols({"k"});
+  EXPECT_EQ(T.numGroups(), 2u);
+  auto Groups = T.groupedRowIndices();
+  ASSERT_EQ(Groups.size(), 2u);
+  EXPECT_EQ(Groups[0], (std::vector<size_t>{0, 2})); // first-appearance
+  EXPECT_EQ(Groups[1], (std::vector<size_t>{1}));
+}
+
+TEST(Table, GroupKeysDistinguishTypes) {
+  // The string "1" and the number 1 must land in different groups.
+  Table T = makeTable({{"k", CellType::Str}, {"v", CellType::Num}},
+                      {{str("1"), num(1)}, {str("x"), num(2)}});
+  Table U = makeTable({{"k", CellType::Num}, {"v", CellType::Num}},
+                      {{num(1), num(1)}, {num(1), num(2)}});
+  T.setGroupCols({"k"});
+  U.setGroupCols({"k"});
+  EXPECT_EQ(T.numGroups(), 2u);
+  EXPECT_EQ(U.numGroups(), 1u);
+}
+
+TEST(TableUtils, HeaderAndValueSets) {
+  Table T = roster();
+  std::set<std::string> H = headerSet(T);
+  EXPECT_EQ(H, (std::set<std::string>{"id", "name", "age"}));
+  std::set<std::string> V = valueSet(T);
+  EXPECT_TRUE(V.count("Alice"));
+  EXPECT_TRUE(V.count("18"));
+  EXPECT_TRUE(V.count("age")); // headers are members of the value set
+  EXPECT_EQ(countNotIn(V, H), V.size() - 3);
+}
+
+TEST(TableUtils, DistinctColumnValues) {
+  Table T = makeTable({{"k", CellType::Str}},
+                      {{str("b")}, {str("a")}, {str("b")}});
+  auto D = distinctColumnValues(T, "k");
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[0], str("b")); // first-appearance order
+  EXPECT_EQ(D[1], str("a"));
+}
+
+} // namespace
