@@ -1,0 +1,156 @@
+//===- bench/bench_portfolio.cpp - Section 8 parallel portfolio ----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Races the Section 8 size-class portfolio against the single-threaded
+/// Synthesizer on the paper's smoke examples plus a stratified sample of
+/// the 80-task suite, and reports per-task wall clock, the winning size
+/// class, the speedup, and whether both engines synthesized the same
+/// program.
+///
+/// Usage: bench_portfolio [timeout_ms] [suite_stride]
+///   timeout_ms   per-task budget for both engines (default 5000)
+///   suite_stride sample every Nth suite task; 0 skips the suite sample
+///                (default 8)
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+#include "suite/Runner.h"
+#include "synth/Portfolio.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace morpheus;
+using namespace morpheus::pb;
+
+namespace {
+
+/// The three worked examples SmokeTest covers, rebuilt as tasks.
+std::vector<BenchmarkTask> smokeTasks() {
+  std::vector<BenchmarkTask> Out;
+
+  Table Students = makeTable({{"id", CellType::Num},
+                              {"name", CellType::Str},
+                              {"age", CellType::Num},
+                              {"GPA", CellType::Num}},
+                             {{num(1), str("Alice"), num(8), num(4.0)},
+                              {num(2), str("Bob"), num(18), num(3.2)},
+                              {num(3), str("Tom"), num(12), num(3.0)}});
+  Out.push_back(task("SMOKE-1", "SMOKE", "Figure 6: project two columns",
+                     {Students}, select(in(0), {"name", "age"})));
+  Out.push_back(task("SMOKE-2", "SMOKE", "Example 12: filter then project",
+                     {Students},
+                     select(filter(in(0), "GPA", "<", num(4.0)),
+                            {"id", "name", "age"})));
+
+  Table Flights = makeTable({{"flight", CellType::Num},
+                             {"origin", CellType::Str},
+                             {"dest", CellType::Str}},
+                            {{num(11), str("EWR"), str("SEA")},
+                             {num(725), str("JFK"), str("BQN")},
+                             {num(495), str("JFK"), str("SEA")},
+                             {num(461), str("LGA"), str("ATL")},
+                             {num(1696), str("EWR"), str("ORD")},
+                             {num(1670), str("EWR"), str("SEA")}});
+  Out.push_back(task(
+      "SMOKE-3", "SMOKE", "Example 2: flights to Seattle", {Flights},
+      mutate(summarise(groupBy(filter(in(0), "dest", "==", str("SEA")),
+                               {"origin"}),
+                       "n", "n"),
+             "prop", bin("/", col("n"), agg("sum", "n")))));
+  return Out;
+}
+
+struct CompareRow {
+  bool SeqSolved = false, ParSolved = false, SamePrg = false;
+  double SeqSecs = 0, ParSecs = 0;
+};
+
+CompareRow runOne(const BenchmarkTask &T, const SynthesisConfig &Base) {
+  SynthesisConfig Cfg = Base;
+  Cfg.OrderedCompare = T.OrderedCompare;
+  ComponentLibrary Lib = libraryForTask(T);
+
+  Synthesizer Seq(Lib, Cfg);
+  SynthesisResult SR = Seq.synthesize(T.Inputs, T.Output);
+
+  PortfolioSynthesizer Par(Lib, PortfolioSynthesizer::sizeClassVariants(Cfg));
+  PortfolioResult PR = Par.synthesize(T.Inputs, T.Output);
+
+  CompareRow R;
+  R.SeqSolved = bool(SR);
+  R.ParSolved = bool(PR);
+  R.SeqSecs = SR.Stats.ElapsedSeconds;
+  R.ParSecs = PR.ElapsedSeconds;
+  R.SamePrg = R.SeqSolved && R.ParSolved &&
+              SR.Program->toString() == PR.Program->toString();
+
+  const char *Winner =
+      PR.WinnerIndex >= 0 ? PR.Workers[size_t(PR.WinnerIndex)].Label.c_str()
+                          : "-";
+  std::printf("  %-10s seq %-12s %7.3fs | portfolio %-12s %7.3fs "
+              "(winner %-8s) | speedup %5.2fx | programs %s\n",
+              T.Id.c_str(), R.SeqSolved ? "solved" : "TIMEOUT", R.SeqSecs,
+              R.ParSolved ? "solved" : "TIMEOUT", R.ParSecs, Winner,
+              R.ParSecs > 0 ? R.SeqSecs / R.ParSecs : 0.0,
+              R.SamePrg ? "identical"
+                        : (R.SeqSolved && R.ParSolved ? "DIFFER" : "-"));
+  if (R.SeqSolved && R.ParSolved && !R.SamePrg) {
+    std::printf("    seq: %s\n    par: %s\n", SR.Program->toString().c_str(),
+                PR.Program->toString().c_str());
+  }
+  return R;
+}
+
+void summarize(const char *Name, const std::vector<CompareRow> &Rows) {
+  size_t SeqSolved = 0, ParSolved = 0, Same = 0;
+  double SeqTotal = 0, ParTotal = 0;
+  for (const CompareRow &R : Rows) {
+    SeqSolved += R.SeqSolved;
+    ParSolved += R.ParSolved;
+    Same += R.SamePrg;
+    if (R.SeqSolved && R.ParSolved) {
+      SeqTotal += R.SeqSecs;
+      ParTotal += R.ParSecs;
+    }
+  }
+  std::printf("%s: seq solved %zu/%zu, portfolio solved %zu/%zu, "
+              "identical programs %zu; aggregate speedup on "
+              "both-solved %.2fx\n\n",
+              Name, SeqSolved, Rows.size(), ParSolved, Rows.size(), Same,
+              ParTotal > 0 ? SeqTotal / ParTotal : 0.0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int TimeoutMs = argc > 1 ? std::atoi(argv[1]) : 5000;
+  int Stride = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  SynthesisConfig Cfg = configSpec2(std::chrono::milliseconds(TimeoutMs));
+
+  std::printf("Portfolio (Section 8) vs single-threaded Synthesizer, "
+              "timeout %d ms\n\n", TimeoutMs);
+
+  std::printf("smoke examples:\n");
+  std::vector<CompareRow> Smoke;
+  for (const BenchmarkTask &T : smokeTasks())
+    Smoke.push_back(runOne(T, Cfg));
+  summarize("smoke", Smoke);
+
+  if (Stride > 0) {
+    const auto &Suite = morpheusSuite();
+    std::printf("suite sample (every %dth of %zu tasks):\n", Stride,
+                Suite.size());
+    std::vector<CompareRow> Sample;
+    for (size_t I = 0; I < Suite.size(); I += size_t(Stride))
+      Sample.push_back(runOne(Suite[I], Cfg));
+    summarize("suite sample", Sample);
+  }
+  return 0;
+}

@@ -43,6 +43,15 @@ struct DeduceStats {
   uint64_t FastPathRejections = 0;
   uint64_t CacheHits = 0;
   double SolverSeconds = 0;
+
+  DeduceStats &operator+=(const DeduceStats &O) {
+    Calls += O.Calls;
+    Rejections += O.Rejections;
+    FastPathRejections += O.FastPathRejections;
+    CacheHits += O.CacheHits;
+    SolverSeconds += O.SolverSeconds;
+    return *this;
+  }
 };
 
 /// SMT-based deduction engine. Not thread-safe; use one engine per search

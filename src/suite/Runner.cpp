@@ -7,20 +7,47 @@
 #include "suite/Runner.h"
 
 #include "interp/Components.h"
+#include "synth/Portfolio.h"
 
 #include <algorithm>
+#include <functional>
 #include <ostream>
 
 using namespace morpheus;
+
+namespace {
+
+std::vector<TaskResult>
+runSuiteWith(const std::vector<BenchmarkTask> &Suite,
+             const std::function<TaskResult(const BenchmarkTask &)> &Run,
+             std::ostream *Progress) {
+  std::vector<TaskResult> Results;
+  Results.reserve(Suite.size());
+  for (const BenchmarkTask &T : Suite) {
+    Results.push_back(Run(T));
+    if (Progress) {
+      const TaskResult &R = Results.back();
+      (*Progress) << "  " << R.TaskId << ": "
+                  << (R.Solved ? "solved" : "TIMEOUT/FAIL") << " in "
+                  << R.Seconds << "s\n";
+      Progress->flush();
+    }
+  }
+  return Results;
+}
+
+} // namespace
+
+ComponentLibrary morpheus::libraryForTask(const BenchmarkTask &T) {
+  return T.Category == "SQL" ? StandardComponents::get().sqlRelevant()
+                             : StandardComponents::get().tidyDplyr();
+}
 
 TaskResult morpheus::runTask(const BenchmarkTask &T,
                              const SynthesisConfig &Cfg) {
   SynthesisConfig TaskCfg = Cfg;
   TaskCfg.OrderedCompare = T.OrderedCompare;
-  ComponentLibrary Lib = T.Category == "SQL"
-                             ? StandardComponents::get().sqlRelevant()
-                             : StandardComponents::get().tidyDplyr();
-  Synthesizer S(std::move(Lib), TaskCfg);
+  Synthesizer S(libraryForTask(T), TaskCfg);
   SynthesisResult R = S.synthesize(T.Inputs, T.Output);
 
   TaskResult Out;
@@ -35,19 +62,40 @@ TaskResult morpheus::runTask(const BenchmarkTask &T,
 std::vector<TaskResult>
 morpheus::runSuite(const std::vector<BenchmarkTask> &Suite,
                    const SynthesisConfig &Cfg, std::ostream *Progress) {
-  std::vector<TaskResult> Results;
-  Results.reserve(Suite.size());
-  for (const BenchmarkTask &T : Suite) {
-    Results.push_back(runTask(T, Cfg));
-    if (Progress) {
-      const TaskResult &R = Results.back();
-      (*Progress) << "  " << R.TaskId << ": "
-                  << (R.Solved ? "solved" : "TIMEOUT/FAIL") << " in "
-                  << R.Seconds << "s\n";
-      Progress->flush();
-    }
-  }
-  return Results;
+  return runSuiteWith(
+      Suite, [&](const BenchmarkTask &T) { return runTask(T, Cfg); },
+      Progress);
+}
+
+TaskResult morpheus::runTaskPortfolio(const BenchmarkTask &T,
+                                      const SynthesisConfig &Cfg,
+                                      unsigned MaxThreads) {
+  SynthesisConfig TaskCfg = Cfg;
+  TaskCfg.OrderedCompare = T.OrderedCompare;
+  PortfolioSynthesizer P(libraryForTask(T),
+                         PortfolioSynthesizer::sizeClassVariants(TaskCfg),
+                         MaxThreads);
+  PortfolioResult R = P.synthesize(T.Inputs, T.Output);
+
+  TaskResult Out;
+  Out.TaskId = T.Id;
+  Out.Category = T.Category;
+  Out.Solved = bool(R);
+  Out.Seconds = R.ElapsedSeconds;
+  Out.Stats = R.Stats;
+  return Out;
+}
+
+std::vector<TaskResult>
+morpheus::runSuitePortfolio(const std::vector<BenchmarkTask> &Suite,
+                            const SynthesisConfig &Cfg, unsigned MaxThreads,
+                            std::ostream *Progress) {
+  return runSuiteWith(
+      Suite,
+      [&](const BenchmarkTask &T) {
+        return runTaskPortfolio(T, Cfg, MaxThreads);
+      },
+      Progress);
 }
 
 double morpheus::medianSolvedTime(const std::vector<TaskResult> &Results) {

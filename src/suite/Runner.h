@@ -30,9 +30,11 @@ struct TaskResult {
   SynthesisStats Stats;
 };
 
-/// Runs \p T under \p Cfg using the component library appropriate for the
-/// task ("SQL" tasks use the eight SQL-relevant components, everything else
-/// the tidyr/dplyr library).
+/// Component library appropriate for a task: "SQL" tasks use the eight
+/// SQL-relevant components, everything else the tidyr/dplyr library.
+ComponentLibrary libraryForTask(const BenchmarkTask &T);
+
+/// Runs \p T under \p Cfg using libraryForTask(T).
 TaskResult runTask(const BenchmarkTask &T, const SynthesisConfig &Cfg);
 
 /// Runs every task of \p Suite; when \p Progress is non-null, prints one
@@ -40,6 +42,20 @@ TaskResult runTask(const BenchmarkTask &T, const SynthesisConfig &Cfg);
 std::vector<TaskResult> runSuite(const std::vector<BenchmarkTask> &Suite,
                                  const SynthesisConfig &Cfg,
                                  std::ostream *Progress = nullptr);
+
+/// Portfolio analog of runTask (Section 8): derives one size-class variant
+/// per program size from \p Cfg and races them on a thread pool with
+/// first-solution-wins semantics. \p MaxThreads = 0 means hardware
+/// concurrency. Seconds is the portfolio's wall clock.
+TaskResult runTaskPortfolio(const BenchmarkTask &T, const SynthesisConfig &Cfg,
+                            unsigned MaxThreads = 0);
+
+/// Portfolio analog of runSuite; tasks run one after another, each using
+/// the full thread pool.
+std::vector<TaskResult>
+runSuitePortfolio(const std::vector<BenchmarkTask> &Suite,
+                  const SynthesisConfig &Cfg, unsigned MaxThreads = 0,
+                  std::ostream *Progress = nullptr);
 
 /// Median of the running times of the *solved* results (the statistic
 /// Figure 16 reports); 0 when nothing was solved.

@@ -96,7 +96,9 @@ private:
       return true;
     if ((++ExpiryPoll & 0xF) != 0)
       return false;
-    TimedOut = std::chrono::steady_clock::now() >= Deadline;
+    TimedOut = std::chrono::steady_clock::now() >= Deadline ||
+               (Cfg.StopFlag &&
+                Cfg.StopFlag->load(std::memory_order_relaxed));
     return TimedOut;
   }
 
@@ -307,11 +309,14 @@ SynthesisResult SearchContext::run() {
 
     // Line 8 of Algorithm 1: try to refute H before converting it into
     // sketches (holes are only constrained to match *some* input).
+    // Viability only gates the sketch phase, so hypotheses below a
+    // portfolio member's size class skip the solver call entirely.
+    bool InSizeClass = H->numApplies() >= Cfg.MinComponents;
     bool Viable = true;
-    if (H->isApply() && Cfg.UseDeduction)
+    if (H->isApply() && Cfg.UseDeduction && InSizeClass)
       Viable = deduce(H);
 
-    if (Viable) {
+    if (Viable && InSizeClass) {
       for (const HypPtr &S : H->sketches(Inputs.size())) {
         if (expired())
           break;

@@ -25,6 +25,7 @@
 #include "smt/Deduce.h"
 #include "synth/Inhabitation.h"
 
+#include <atomic>
 #include <chrono>
 
 namespace morpheus {
@@ -45,6 +46,12 @@ struct SynthesisConfig {
   bool UseNGram = true;
   /// Upper bound on the number of table transformers in a program.
   unsigned MaxComponents = 5;
+  /// Lower bound on the size of programs whose sketches are completed.
+  /// Hypotheses smaller than this are still refined (the worklist must
+  /// pass through them) but never expanded into sketches. Used by the
+  /// portfolio (Section 8) to dedicate one engine to each size class;
+  /// 0 keeps the classic behaviour of attempting every size.
+  unsigned MinComponents = 0;
   /// Wall-clock budget.
   std::chrono::milliseconds Timeout{5000};
   /// Weight of program size in the worklist cost (Occam's razor tie to the
@@ -67,6 +74,10 @@ struct SynthesisConfig {
   /// deep programs (5 components) at the cost of noisy times on small
   /// ones; the default is the classic single cost-ordered worklist.
   bool FairSizeScheduling = false;
+  /// External cancellation (Section 8 portfolio): when non-null, the search
+  /// polls the flag and aborts — reported as a timeout — once it is set.
+  /// The pointee must outlive the synthesis run.
+  std::atomic<bool> *StopFlag = nullptr;
   InhabitationConfig Inhab;
 };
 
@@ -82,6 +93,20 @@ struct SynthesisStats {
   DeduceStats Deduce;
   double ElapsedSeconds = 0;
   bool TimedOut = false;
+
+  /// Merges counters across runs (portfolio members, suite aggregation).
+  SynthesisStats &operator+=(const SynthesisStats &O) {
+    HypothesesExplored += O.HypothesesExplored;
+    SketchesGenerated += O.SketchesGenerated;
+    SketchesRefuted += O.SketchesRefuted;
+    PartialFillsPruned += O.PartialFillsPruned;
+    PartialFillsTried += O.PartialFillsTried;
+    CandidatesChecked += O.CandidatesChecked;
+    Deduce += O.Deduce;
+    ElapsedSeconds += O.ElapsedSeconds;
+    TimedOut |= O.TimedOut;
+    return *this;
+  }
 };
 
 /// Result of SYNTHESIZE: the program (null on failure/timeout) and stats.
