@@ -18,9 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/Components.h"
+#include "api/Engine.h"
 #include "suite/Runner.h"
-#include "synth/Portfolio.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,21 +71,21 @@ struct CompareRow {
 };
 
 CompareRow runOne(const BenchmarkTask &T, const SynthesisConfig &Base) {
-  SynthesisConfig Cfg = Base;
-  Cfg.OrderedCompare = T.OrderedCompare;
   ComponentLibrary Lib = libraryForTask(T);
+  Problem P = toProblem(T);
 
-  Synthesizer Seq(Lib, Cfg);
-  SynthesisResult SR = Seq.synthesize(T.Inputs, T.Output);
+  Engine SeqEngine(Lib, EngineOptions().config(Base));
+  Solution SR = SeqEngine.solve(P);
 
-  PortfolioSynthesizer Par(Lib, PortfolioSynthesizer::sizeClassVariants(Cfg));
-  PortfolioResult PR = Par.synthesize(T.Inputs, T.Output);
+  Engine ParEngine(
+      Lib, EngineOptions().config(Base).strategy(Strategy::Portfolio));
+  Solution PR = ParEngine.solve(P);
 
   CompareRow R;
   R.SeqSolved = bool(SR);
   R.ParSolved = bool(PR);
-  R.SeqSecs = SR.Stats.ElapsedSeconds;
-  R.ParSecs = PR.ElapsedSeconds;
+  R.SeqSecs = SR.Seconds;
+  R.ParSecs = PR.Seconds;
   R.SamePrg = R.SeqSolved && R.ParSolved &&
               SR.Program->toString() == PR.Program->toString();
 

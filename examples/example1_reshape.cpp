@@ -12,8 +12,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/Components.h"
-#include "synth/Synthesizer.h"
+#include "api/Engine.h"
+#include "io/ProgramIO.h"
 
 #include <cstdio>
 
@@ -43,18 +43,18 @@ int main() {
   std::printf("Input:\n%s\nDesired output:\n%s\n", In.toString().c_str(),
               Out.toString().c_str());
 
-  SynthesisConfig Cfg;
-  Cfg.Timeout = std::chrono::seconds(60);
-  Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
-  SynthesisResult R = S.synthesize({In}, Out);
-  if (!R) {
+  Engine E = Engine::standard(
+      EngineOptions().timeout(std::chrono::seconds(60)));
+  Problem P = Problem::fromTables({In}, Out);
+  P.InputNames = {"input"};
+  Solution S = E.solve(P);
+  if (!S) {
     std::printf("no program found\n");
     return 1;
   }
   std::printf("Synthesized program (paper's: gather; unite; spread):\n%s\n",
-              R.Program->toRScript({"input"}).c_str());
-  std::printf("Solved in %.2fs after %llu hypotheses.\n",
-              R.Stats.ElapsedSeconds,
-              (unsigned long long)R.Stats.HypothesesExplored);
+              emitRProgram(S.Program, P.inputNames()).c_str());
+  std::printf("Solved in %.2fs after %llu hypotheses.\n", S.Seconds,
+              (unsigned long long)S.Stats.HypothesesExplored);
   return 0;
 }

@@ -12,8 +12,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/Components.h"
-#include "synth/Synthesizer.h"
+#include "api/Engine.h"
+#include "io/ProgramIO.h"
 
 #include <cstdio>
 
@@ -39,19 +39,19 @@ int main() {
   std::printf("Input:\n%s\nDesired output:\n%s\n", In.toString().c_str(),
               Out.toString().c_str());
 
-  SynthesisConfig Cfg;
-  Cfg.Timeout = std::chrono::seconds(60);
-  Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
-  SynthesisResult R = S.synthesize({In}, Out);
-  if (!R) {
+  Engine E = Engine::standard(
+      EngineOptions().timeout(std::chrono::seconds(60)));
+  Problem P = Problem::fromTables({In}, Out);
+  P.InputNames = {"flights"};
+  Solution S = E.solve(P);
+  if (!S) {
     std::printf("no program found\n");
     return 1;
   }
   std::printf("Synthesized program (paper's: filter; group_by+summarize; "
               "mutate):\n%s\n",
-              R.Program->toRScript({"input"}).c_str());
+              emitRProgram(S.Program, P.inputNames()).c_str());
   std::printf("Solved in %.2fs; deduction pruned %llu partial fills.\n",
-              R.Stats.ElapsedSeconds,
-              (unsigned long long)R.Stats.PartialFillsPruned);
+              S.Seconds, (unsigned long long)S.Stats.PartialFillsPruned);
   return 0;
 }

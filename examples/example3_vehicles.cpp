@@ -21,8 +21,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/Components.h"
-#include "synth/Synthesizer.h"
+#include "api/Engine.h"
+#include "io/ProgramIO.h"
 
 #include <cstdio>
 
@@ -59,20 +59,23 @@ int main() {
 
   SynthesisConfig Cfg;
   Cfg.Timeout = std::chrono::seconds(300); // the paper's 5-minute limit
-  Cfg.OrderedCompare = true;               // arrange makes order observable
   Cfg.FairSizeScheduling = true; // per-size fairness for the deep search
   Cfg.MaxSecondsPerSketch = 30;  // five-component sketches are large
-  Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
-  SynthesisResult R = S.synthesize({Positions, Speeds}, Out);
-  if (!R) {
+  Engine E = Engine::standard(EngineOptions().config(Cfg));
+
+  // arrange makes row order observable -> ordered comparison.
+  Problem P = Problem::fromTables({Positions, Speeds}, Out,
+                                  /*OrderedCompare=*/true);
+  P.InputNames = {"table1", "table2"};
+  Solution S = E.solve(P);
+  if (!S) {
     std::printf("no program found within the 5-minute limit\n");
     return 1;
   }
   std::printf("Synthesized program:\n%s\n",
-              R.Program->toRScript({"table1", "table2"}).c_str());
+              emitRProgram(S.Program, P.inputNames()).c_str());
   std::printf("Solved in %.2fs after %llu hypotheses / %llu sketches.\n",
-              R.Stats.ElapsedSeconds,
-              (unsigned long long)R.Stats.HypothesesExplored,
-              (unsigned long long)R.Stats.SketchesGenerated);
+              S.Seconds, (unsigned long long)S.Stats.HypothesesExplored,
+              (unsigned long long)S.Stats.SketchesGenerated);
   return 0;
 }

@@ -5,15 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quickstart: define an input table and the output you want, call the
-/// synthesizer, get an R-style table transformation program back.
+/// Quickstart: define an input table and the output you want, hand the
+/// Problem to an Engine, get an executable tidyr/dplyr R script back.
 ///
 ///   $ ./quickstart
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/Components.h"
-#include "synth/Synthesizer.h"
+#include "api/Engine.h"
+#include "io/ProgramIO.h"
 
 #include <cstdio>
 
@@ -35,27 +35,29 @@ int main() {
   std::printf("Input:\n%s\nDesired output:\n%s\n", In.toString().c_str(),
               Out.toString().c_str());
 
-  // The synthesizer is parameterized by a component library; here we use
-  // the standard tidyr/dplyr set the paper evaluates with.
-  SynthesisConfig Cfg;
-  Cfg.Timeout = std::chrono::seconds(30);
-  Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
-  SynthesisResult R = S.synthesize({In}, Out);
+  // The Engine hides the search machinery; Engine::standard uses the
+  // tidyr/dplyr component library the paper evaluates with.
+  Engine E = Engine::standard(
+      EngineOptions().timeout(std::chrono::seconds(30)));
 
-  if (!R) {
-    std::printf("no program found\n");
+  Problem P = Problem::fromTables({In}, Out);
+  P.InputNames = {"roster"};
+
+  Solution S = E.solve(P);
+  if (!S) {
+    std::printf("no program found (%s)\n",
+                std::string(outcomeName(S.Result)).c_str());
     return 1;
   }
-  std::printf("Synthesized program:\n%s\n",
-              R.Program->toRScript({"input"}).c_str());
+  std::printf("Synthesized R program:\n%s\n",
+              emitRProgram(S.Program, P.inputNames()).c_str());
   std::printf("Search explored %llu hypotheses, rejected %llu by "
               "SMT-based deduction, in %.2fs.\n",
-              (unsigned long long)R.Stats.HypothesesExplored,
-              (unsigned long long)R.Stats.Deduce.Rejections,
-              R.Stats.ElapsedSeconds);
+              (unsigned long long)S.Stats.HypothesesExplored,
+              (unsigned long long)S.Stats.Deduce.Rejections, S.Seconds);
 
   // Replay the program to confirm it reproduces the example.
-  std::optional<Table> Replayed = R.Program->evaluate({In});
+  std::optional<Table> Replayed = S.Program->evaluate({In});
   std::printf("Replayed output:\n%s\n", Replayed->toString().c_str());
   return 0;
 }

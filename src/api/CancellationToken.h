@@ -1,0 +1,87 @@
+//===- api/CancellationToken.h - Cooperative cancellation -------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-semantic cooperative cancellation. A CancellationToken owns (or
+/// shares) a heap-allocated stop flag: copies observe the same flag, and the
+/// flag lives as long as any copy does, so — unlike the raw
+/// `std::atomic<bool>*` it replaces — a token can never dangle. Searches
+/// poll stopRequested(); any holder may requestStop().
+///
+/// Tokens can be *linked*: makeLinked() returns a child with a fresh flag
+/// that also observes every flag of its parent. The portfolio uses this to
+/// cancel its members when a winner is found (child flag) while still
+/// honouring cancellation of the whole portfolio by its caller (parent
+/// flags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_API_CANCELLATIONTOKEN_H
+#define MORPHEUS_API_CANCELLATIONTOKEN_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace morpheus {
+
+class CancellationToken {
+public:
+  /// An inert token: stopRequested() is always false and requestStop() is a
+  /// no-op. The default for configurations that never cancel.
+  CancellationToken() = default;
+
+  /// A token with its own stop flag.
+  static CancellationToken create() {
+    CancellationToken T;
+    T.Flags.push_back(std::make_shared<std::atomic<bool>>(false));
+    return T;
+  }
+
+  /// A child token: requestStop() on the child does not affect this token,
+  /// but a stop requested on this token is visible through the child.
+  CancellationToken makeLinked() const { return create().observing(*this); }
+
+  /// A copy of this token that additionally reports a stop when \p Other
+  /// does. When this token has its own flag, requestStop() on the result
+  /// still targets it, so observation does not propagate a stop back into
+  /// \p Other; an inert token observing another is a polling view only
+  /// (its requestStop() would reach \p Other — create() first to avoid
+  /// that).
+  CancellationToken observing(const CancellationToken &Other) const {
+    CancellationToken T = *this;
+    T.Flags.insert(T.Flags.end(), Other.Flags.begin(), Other.Flags.end());
+    return T;
+  }
+
+  /// Whether this token can ever report a stop (false for inert tokens).
+  bool cancellable() const { return !Flags.empty(); }
+
+  /// Requests cancellation. Affects this token and every copy/child of it;
+  /// no-op on an inert token.
+  void requestStop() const {
+    if (!Flags.empty())
+      Flags.front()->store(true, std::memory_order_release);
+  }
+
+  /// Polled by searches; relaxed ordering is fine (the only consequence of
+  /// a stale read is one more poll interval of work).
+  bool stopRequested() const {
+    for (const std::shared_ptr<std::atomic<bool>> &F : Flags)
+      if (F->load(std::memory_order_relaxed))
+        return true;
+    return false;
+  }
+
+private:
+  /// Flags.front() is the own flag (set by requestStop); the rest are
+  /// observed parent flags.
+  std::vector<std::shared_ptr<std::atomic<bool>>> Flags;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_API_CANCELLATIONTOKEN_H

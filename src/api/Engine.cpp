@@ -1,0 +1,109 @@
+//===- api/Engine.cpp - Public synthesis facade -------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Engine.h"
+
+#include "interp/Components.h"
+
+using namespace morpheus;
+
+std::string_view morpheus::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Sequential:
+    return "sequential";
+  case Strategy::Portfolio:
+    return "portfolio";
+  }
+  return "?";
+}
+
+std::string_view morpheus::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Solved:
+    return "solved";
+  case Outcome::Timeout:
+    return "timeout";
+  case Outcome::Cancelled:
+    return "cancelled";
+  case Outcome::Exhausted:
+    return "exhausted";
+  }
+  return "?";
+}
+
+Problem Problem::fromTables(std::vector<Table> Inputs, Table Output,
+                            bool OrderedCompare) {
+  Problem P;
+  P.Inputs = std::move(Inputs);
+  P.Output = std::move(Output);
+  P.OrderedCompare = OrderedCompare;
+  return P;
+}
+
+std::vector<std::string> Problem::inputNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Inputs.size());
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    if (I < InputNames.size() && !InputNames[I].empty())
+      Names.push_back(InputNames[I]);
+    else
+      Names.push_back("x" + std::to_string(I));
+  }
+  return Names;
+}
+
+Engine::Engine(ComponentLibrary Lib, EngineOptions Opts)
+    : Lib(std::move(Lib)), Opts(std::move(Opts)) {}
+
+Engine Engine::standard(EngineOptions Opts) {
+  return Engine(StandardComponents::get().tidyDplyr(), std::move(Opts));
+}
+
+Engine Engine::sql(EngineOptions Opts) {
+  return Engine(StandardComponents::get().sqlRelevant(), std::move(Opts));
+}
+
+Solution Engine::solve(const Problem &P) const {
+  return solve(P, CancellationToken());
+}
+
+Solution Engine::solve(const Problem &P, CancellationToken Cancel) const {
+  SynthesisConfig Cfg = Opts.config();
+  Cfg.OrderedCompare = P.OrderedCompare;
+  // Honour a token the caller embedded in the raw config (the
+  // EngineOptions::config escape hatch) alongside the solve-call token:
+  // the search stops when either requests it.
+  CancellationToken Effective = Cancel.observing(Cfg.Cancel);
+
+  Solution Out;
+  if (Opts.strategy() == Strategy::Portfolio) {
+    PortfolioSynthesizer Par(Lib, PortfolioSynthesizer::sizeClassVariants(Cfg),
+                             Opts.threads());
+    PortfolioResult R = Par.synthesize(P.Inputs, P.Output, Effective);
+    Out.Program = R.Program;
+    Out.Stats = R.Stats;
+    Out.Seconds = R.ElapsedSeconds;
+    Out.Workers = std::move(R.Workers);
+    Out.WinnerIndex = R.WinnerIndex;
+  } else {
+    Cfg.Cancel = Effective;
+    Synthesizer Seq(Lib, Cfg);
+    SynthesisResult R = Seq.synthesize(P.Inputs, P.Output);
+    Out.Program = R.Program;
+    Out.Stats = R.Stats;
+    Out.Seconds = R.Stats.ElapsedSeconds;
+  }
+
+  if (Out.Program)
+    Out.Result = Outcome::Solved;
+  else if (Effective.stopRequested())
+    Out.Result = Outcome::Cancelled;
+  else if (Out.Stats.TimedOut)
+    Out.Result = Outcome::Timeout;
+  else
+    Out.Result = Outcome::Exhausted;
+  return Out;
+}

@@ -1,0 +1,466 @@
+//===- io/Json.cpp - Minimal JSON value, parser and writer --------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace morpheus;
+
+JsonValue JsonValue::boolean(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::number(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+
+JsonValue JsonValue::string(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue J;
+  J.K = Kind::Object;
+  return J;
+}
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Val] : Obj)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+void JsonValue::set(std::string Key, JsonValue V) {
+  K = Kind::Object;
+  for (auto &[Name, Val] : Obj) {
+    if (Name == Key) {
+      Val = std::move(V);
+      return;
+    }
+  }
+  Obj.emplace_back(std::move(Key), std::move(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeEscaped(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void writeNumber(std::ostringstream &OS, double N) {
+  // JSON has no NaN/Infinity literal; emit null (the reader then reports
+  // a clean type error instead of choking on bare `nan`).
+  if (!std::isfinite(N)) {
+    OS << "null";
+    return;
+  }
+  // Integral doubles print without an exponent or trailing zeros, matching
+  // Value::toString so table cells round-trip textually.
+  char Buf[40];
+  if (N == std::floor(N) && std::fabs(N) < 1e15) {
+    std::snprintf(Buf, sizeof(Buf), "%.0f", N);
+    OS << Buf;
+    return;
+  }
+  // Shortest precision that parses back to exactly N.
+  for (int Prec = 15; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, N);
+    if (std::strtod(Buf, nullptr) == N)
+      break;
+  }
+  OS << Buf;
+}
+
+void writeValue(std::ostringstream &OS, const JsonValue &V, unsigned Indent,
+                unsigned Depth) {
+  auto NewlineAndPad = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    OS << '\n';
+    for (unsigned I = 0; I != Indent * D; ++I)
+      OS << ' ';
+  };
+
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    OS << "null";
+    break;
+  case JsonValue::Kind::Bool:
+    OS << (V.B ? "true" : "false");
+    break;
+  case JsonValue::Kind::Number:
+    writeNumber(OS, V.Num);
+    break;
+  case JsonValue::Kind::String:
+    writeEscaped(OS, V.Str);
+    break;
+  case JsonValue::Kind::Array: {
+    if (V.Arr.empty()) {
+      OS << "[]";
+      break;
+    }
+    // Arrays of scalars stay on one line even when pretty-printing; table
+    // rows read much better that way.
+    bool AllScalar = true;
+    for (const JsonValue &E : V.Arr)
+      if (E.isArray() || E.isObject())
+        AllScalar = false;
+    OS << '[';
+    for (size_t I = 0; I != V.Arr.size(); ++I) {
+      if (I)
+        OS << (Indent && AllScalar ? ", " : ",");
+      if (!AllScalar)
+        NewlineAndPad(Depth + 1);
+      writeValue(OS, V.Arr[I], Indent, Depth + 1);
+    }
+    if (!AllScalar)
+      NewlineAndPad(Depth);
+    OS << ']';
+    break;
+  }
+  case JsonValue::Kind::Object: {
+    if (V.Obj.empty()) {
+      OS << "{}";
+      break;
+    }
+    OS << '{';
+    for (size_t I = 0; I != V.Obj.size(); ++I) {
+      if (I)
+        OS << ',';
+      NewlineAndPad(Depth + 1);
+      writeEscaped(OS, V.Obj[I].first);
+      OS << (Indent ? ": " : ":");
+      writeValue(OS, V.Obj[I].second, Indent, Depth + 1);
+    }
+    NewlineAndPad(Depth);
+    OS << '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::ostringstream OS;
+  writeValue(OS, *this, Indent, 0);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Err) : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> parseDocument() {
+    skipWs();
+    std::optional<JsonValue> V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+  /// Containers may nest this deep; beyond it parsing fails cleanly
+  /// instead of overflowing the stack on adversarial input.
+  static constexpr unsigned MaxDepth = 200;
+  unsigned Depth = 0;
+
+  std::nullopt_t fail(const std::string &Msg) {
+    if (Err && Err->empty())
+      *Err = Msg + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{' || C == '[') {
+      if (Depth >= MaxDepth)
+        return fail("nesting deeper than " + std::to_string(MaxDepth) +
+                    " levels");
+      ++Depth;
+      std::optional<JsonValue> V = C == '{' ? parseObject() : parseArray();
+      --Depth;
+      return V;
+    }
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::string(std::move(*S));
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword();
+    if (C == 'n')
+      return parseNull();
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return parseNumber();
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  std::optional<JsonValue> parseKeyword() {
+    if (Text.substr(Pos, 4) == "true") {
+      Pos += 4;
+      return JsonValue::boolean(true);
+    }
+    if (Text.substr(Pos, 5) == "false") {
+      Pos += 5;
+      return JsonValue::boolean(false);
+    }
+    return fail("invalid keyword");
+  }
+
+  std::optional<JsonValue> parseNull() {
+    if (Text.substr(Pos, 4) == "null") {
+      Pos += 4;
+      return JsonValue::null();
+    }
+    return fail("invalid keyword");
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size() || Num.empty()) {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    return JsonValue::number(V);
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code += unsigned(H - 'A' + 10);
+          else {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+        // table cells are ASCII in practice).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parseArray() {
+    consume('[');
+    JsonValue Out = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return Out;
+    while (true) {
+      skipWs();
+      std::optional<JsonValue> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Out.Arr.push_back(std::move(*V));
+      skipWs();
+      if (consume(']'))
+        return Out;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonValue> parseObject() {
+    consume('{');
+    JsonValue Out = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return Out;
+    while (true) {
+      skipWs();
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipWs();
+      std::optional<JsonValue> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Out.Obj.emplace_back(std::move(*Key), std::move(*V));
+      skipWs();
+      if (consume('}'))
+        return Out;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> morpheus::parseJson(std::string_view Text,
+                                             std::string *Err) {
+  if (Err)
+    Err->clear();
+  return Parser(Text, Err).parseDocument();
+}

@@ -1,0 +1,71 @@
+//===- io/Json.h - Minimal JSON value, parser and writer --------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON library for the problem/table file formats
+/// (src/io/TableIO, src/io/ProblemIO). The container image bakes in no JSON
+/// dependency, and the subset we need — parse, navigate, pretty-print — is
+/// ~200 lines, so we own it. Numbers are doubles (matching the num cell
+/// type); object key order is preserved so written files are stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_IO_JSON_H
+#define MORPHEUS_IO_JSON_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace morpheus {
+
+/// One JSON value; a tree of these represents a document.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V);
+  static JsonValue number(double V);
+  static JsonValue string(std::string V);
+  static JsonValue array(std::vector<JsonValue> V = {});
+  static JsonValue object();
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+
+  /// Appends/overwrites an object member (keeps first-set order).
+  void set(std::string Key, JsonValue V);
+
+  /// Serializes the value. \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits a compact single line.
+  std::string dump(unsigned Indent = 0) const;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// On failure returns nullopt and, when \p Err is non-null, stores a
+/// message with the byte offset of the problem.
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Err = nullptr);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_IO_JSON_H

@@ -1,0 +1,145 @@
+//===- io/ProblemIO.cpp - JSON problem files ----------------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/ProblemIO.h"
+
+#include "io/TableIO.h"
+
+using namespace morpheus;
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+/// "dir/task.json" -> "task"
+std::string fileStem(const std::string &Path) {
+  size_t Slash = Path.find_last_of("/\\");
+  std::string Name = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Name.find_last_of('.');
+  return Dot == std::string::npos ? Name : Name.substr(0, Dot);
+}
+
+} // namespace
+
+std::optional<Problem> morpheus::problemFromJson(const JsonValue &V,
+                                                 std::string *Err) {
+  if (!V.isObject()) {
+    setErr(Err, "problem must be a JSON object");
+    return std::nullopt;
+  }
+
+  Problem P;
+  if (const JsonValue *Name = V.find("name"); Name && Name->isString())
+    P.Name = Name->Str;
+  if (const JsonValue *Desc = V.find("description");
+      Desc && Desc->isString())
+    P.Description = Desc->Str;
+
+  const JsonValue *Inputs = V.find("inputs");
+  if (!Inputs || !Inputs->isArray() || Inputs->Arr.empty()) {
+    setErr(Err, "problem needs a non-empty \"inputs\" array");
+    return std::nullopt;
+  }
+  for (size_t I = 0; I != Inputs->Arr.size(); ++I) {
+    std::string TableErr;
+    std::optional<Table> T = tableFromJson(Inputs->Arr[I], &TableErr);
+    if (!T) {
+      setErr(Err, "input " + std::to_string(I) + ": " + TableErr);
+      return std::nullopt;
+    }
+    P.Inputs.push_back(std::move(*T));
+    const JsonValue *Name = Inputs->Arr[I].find("name");
+    P.InputNames.push_back(Name && Name->isString() ? Name->Str : "");
+  }
+
+  const JsonValue *Output = V.find("output");
+  if (!Output) {
+    setErr(Err, "problem needs an \"output\" table");
+    return std::nullopt;
+  }
+  std::string TableErr;
+  std::optional<Table> Out = tableFromJson(*Output, &TableErr);
+  if (!Out) {
+    setErr(Err, "output: " + TableErr);
+    return std::nullopt;
+  }
+  P.Output = std::move(*Out);
+
+  if (const JsonValue *Opts = V.find("options")) {
+    if (!Opts->isObject()) {
+      setErr(Err, "\"options\" must be an object");
+      return std::nullopt;
+    }
+    if (const JsonValue *OC = Opts->find("ordered_compare")) {
+      if (!OC->isBool()) {
+        setErr(Err, "options.ordered_compare must be a boolean");
+        return std::nullopt;
+      }
+      P.OrderedCompare = OC->B;
+    }
+  }
+  return P;
+}
+
+JsonValue morpheus::problemToJson(const Problem &P) {
+  JsonValue Out = JsonValue::object();
+  if (!P.Name.empty())
+    Out.set("name", JsonValue::string(P.Name));
+  if (!P.Description.empty())
+    Out.set("description", JsonValue::string(P.Description));
+
+  JsonValue Inputs = JsonValue::array();
+  for (size_t I = 0; I != P.Inputs.size(); ++I) {
+    JsonValue T = tableToJson(P.Inputs[I]);
+    if (I < P.InputNames.size() && !P.InputNames[I].empty()) {
+      // Name first, for readability of the written file.
+      JsonValue Named = JsonValue::object();
+      Named.set("name", JsonValue::string(P.InputNames[I]));
+      for (auto &[K, V] : T.Obj)
+        Named.set(K, std::move(V));
+      T = std::move(Named);
+    }
+    Inputs.Arr.push_back(std::move(T));
+  }
+  Out.set("inputs", std::move(Inputs));
+  Out.set("output", tableToJson(P.Output));
+
+  if (P.OrderedCompare) {
+    JsonValue Opts = JsonValue::object();
+    Opts.set("ordered_compare", JsonValue::boolean(true));
+    Out.set("options", std::move(Opts));
+  }
+  return Out;
+}
+
+std::optional<Problem> morpheus::loadProblem(const std::string &Path,
+                                             std::string *Err) {
+  std::optional<std::string> Text = readFile(Path, Err);
+  if (!Text)
+    return std::nullopt;
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = parseJson(*Text, &ParseErr);
+  if (!Doc) {
+    setErr(Err, Path + ": " + ParseErr);
+    return std::nullopt;
+  }
+  std::optional<Problem> P = problemFromJson(*Doc, &ParseErr);
+  if (!P) {
+    setErr(Err, Path + ": " + ParseErr);
+    return std::nullopt;
+  }
+  if (P->Name.empty())
+    P->Name = fileStem(Path);
+  return P;
+}
+
+bool morpheus::saveProblem(const Problem &P, const std::string &Path,
+                           std::string *Err) {
+  return writeFile(Path, problemToJson(P).dump(2) + "\n", Err);
+}

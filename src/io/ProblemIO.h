@@ -1,0 +1,55 @@
+//===- io/ProblemIO.h - JSON problem files ----------------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk JSON form of api::Problem — what `morpheus solve` reads and
+/// what lets users point the tool at their own tables:
+///
+///   {
+///     "name": "filter_select",
+///     "description": "name and age of everyone older than 10",
+///     "inputs": [
+///       {"name": "roster",
+///        "columns": [{"name": "id", "type": "num"}, ...],
+///        "rows": [[1, "Alice", 8, 4.0], ...]}
+///     ],
+///     "output": {"columns": [...], "rows": [...]},
+///     "options": {"ordered_compare": false}
+///   }
+///
+/// `inputs` entry names are optional (they only label the emitted R code);
+/// `options` is optional entirely. docs/API.md documents the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_IO_PROBLEMIO_H
+#define MORPHEUS_IO_PROBLEMIO_H
+
+#include "api/Engine.h"
+#include "io/Json.h"
+
+namespace morpheus {
+
+/// Builds a Problem from its parsed JSON form; nullopt with \p Err on a
+/// schema violation (missing output, empty inputs, malformed tables, ...).
+std::optional<Problem> problemFromJson(const JsonValue &V,
+                                       std::string *Err = nullptr);
+
+/// Inverse of problemFromJson.
+JsonValue problemToJson(const Problem &P);
+
+/// Reads and parses a problem file. The file stem is used as the problem
+/// name when the document has no "name" member.
+std::optional<Problem> loadProblem(const std::string &Path,
+                                   std::string *Err = nullptr);
+
+/// Pretty-prints \p P to \p Path; false with \p Err on I/O failure.
+bool saveProblem(const Problem &P, const std::string &Path,
+                 std::string *Err = nullptr);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_IO_PROBLEMIO_H

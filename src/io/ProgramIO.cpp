@@ -1,0 +1,581 @@
+//===- io/ProgramIO.cpp - Program serialization and R emission ----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/ProgramIO.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace morpheus;
+
+//===----------------------------------------------------------------------===//
+// Shared atoms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shortest decimal string that strtod parses back to exactly \p V, so
+/// numeric constants survive print -> parse without drift. Finiteness and
+/// range are checked before the integral cast (UB otherwise); strtod
+/// accepts the "nan"/"inf" that %g prints for non-finite values.
+std::string printDouble(double V) {
+  char Buf[40];
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15) {
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+    return Buf;
+  }
+  for (int Prec = 15; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
+  return Buf;
+}
+
+bool needsQuoting(const std::string &S) {
+  if (S.empty())
+    return true;
+  for (char C : S)
+    if (std::isspace(static_cast<unsigned char>(C)) || C == '(' || C == ')' ||
+        C == '"' || C == '\\')
+      return true;
+  return false;
+}
+
+void printQuoted(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\';
+    OS << C;
+  }
+  OS << '"';
+}
+
+/// Prints a name as a bare atom when possible, quoted otherwise.
+void printAtom(std::ostringstream &OS, const std::string &S) {
+  if (needsQuoting(S))
+    printQuoted(OS, S);
+  else
+    OS << S;
+}
+
+//===----------------------------------------------------------------------===//
+// S-expression printer
+//===----------------------------------------------------------------------===//
+
+void printTerm(std::ostringstream &OS, const Term &T) {
+  switch (T.K) {
+  case Term::Kind::Const:
+    if (T.ConstVal.isNum()) {
+      OS << "(num " << printDouble(T.ConstVal.num()) << ')';
+    } else {
+      OS << "(str ";
+      printQuoted(OS, T.ConstVal.strVal());
+      OS << ')';
+    }
+    break;
+  case Term::Kind::ColRef:
+    OS << "(col ";
+    printAtom(OS, T.Name);
+    OS << ')';
+    break;
+  case Term::Kind::NameLit:
+    OS << "(name ";
+    printAtom(OS, T.Name);
+    OS << ')';
+    break;
+  case Term::Kind::ColsLit:
+    OS << "(cols";
+    for (const std::string &C : T.Cols) {
+      OS << ' ';
+      printAtom(OS, C);
+    }
+    OS << ')';
+    break;
+  case Term::Kind::App:
+    OS << '(' << T.Fn->name();
+    for (const TermPtr &A : T.Args) {
+      OS << ' ';
+      printTerm(OS, *A);
+    }
+    OS << ')';
+    break;
+  }
+}
+
+void printNode(std::ostringstream &OS, const Hypothesis &H) {
+  switch (H.kind()) {
+  case Hypothesis::Kind::TblHole:
+    OS << "?tbl";
+    break;
+  case Hypothesis::Kind::ValueHole:
+    OS << '?';
+    break;
+  case Hypothesis::Kind::Input:
+    OS << "(input " << H.inputIndex() << ')';
+    break;
+  case Hypothesis::Kind::Filled:
+    printTerm(OS, *H.term());
+    break;
+  case Hypothesis::Kind::Apply:
+    OS << '(' << H.component()->name();
+    for (const HypPtr &C : H.children()) {
+      OS << ' ';
+      printNode(OS, *C);
+    }
+    OS << ')';
+    break;
+  }
+}
+
+} // namespace
+
+std::string morpheus::printSexp(const HypPtr &H) {
+  std::ostringstream OS;
+  if (H)
+    printNode(OS, *H);
+  else
+    OS << "()";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// S-expression parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Token {
+  enum class Kind { LParen, RParen, Atom, End };
+  Kind K = Kind::End;
+  std::string Text;
+  bool Quoted = false; ///< atom came from a "..." literal
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  /// Returns the next token; Err is set on lexical errors (which also
+  /// produce an End token so parsers terminate).
+  Token next(std::string *Err) {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    Token T;
+    if (Pos >= Text.size())
+      return T;
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      T.K = Token::Kind::LParen;
+      return T;
+    }
+    if (C == ')') {
+      ++Pos;
+      T.K = Token::Kind::RParen;
+      return T;
+    }
+    if (C == '"') {
+      ++Pos;
+      T.K = Token::Kind::Atom;
+      T.Quoted = true;
+      while (Pos < Text.size() && Text[Pos] != '"') {
+        char D = Text[Pos++];
+        if (D == '\\') {
+          if (Pos >= Text.size())
+            break;
+          D = Text[Pos++];
+        }
+        T.Text += D;
+      }
+      if (Pos >= Text.size()) {
+        if (Err && Err->empty())
+          *Err = "unterminated string literal";
+        T.K = Token::Kind::End;
+        return T;
+      }
+      ++Pos; // closing quote
+      return T;
+    }
+    T.K = Token::Kind::Atom;
+    while (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != ')' &&
+           Text[Pos] != '"' &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])))
+      T.Text += Text[Pos++];
+    return T;
+  }
+
+  bool atEnd() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    return Pos >= Text.size();
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+class SexpParser {
+public:
+  SexpParser(std::string_view Text, const ComponentLibrary &Lib,
+             std::string *Err)
+      : Lex(Text), Lib(Lib), Err(Err) {}
+
+  HypPtr parseProgram() {
+    HypPtr H = parseNode(Lex.next(Err));
+    if (!H)
+      return nullptr;
+    if (!Lex.atEnd())
+      return fail("trailing input after program");
+    return H;
+  }
+
+private:
+  Lexer Lex;
+  const ComponentLibrary &Lib;
+  std::string *Err;
+  /// Nodes and terms may nest this deep; beyond it parsing fails cleanly
+  /// instead of overflowing the stack on adversarial input.
+  static constexpr unsigned MaxDepth = 200;
+  unsigned Depth = 0;
+
+  std::nullptr_t fail(const std::string &Msg) {
+    if (Err && Err->empty())
+      *Err = Msg;
+    return nullptr;
+  }
+
+  /// RAII depth guard shared by parseNode and parseTerm.
+  struct DepthGuard {
+    SexpParser &P;
+    bool Ok;
+    explicit DepthGuard(SexpParser &P) : P(P), Ok(P.Depth < MaxDepth) {
+      ++P.Depth;
+    }
+    ~DepthGuard() { --P.Depth; }
+  };
+
+  /// Parses a table-typed node from \p First (its leading token).
+  HypPtr parseNode(Token First) {
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return fail("nesting deeper than " + std::to_string(MaxDepth) +
+                  " levels");
+    if (First.K == Token::Kind::Atom && !First.Quoted &&
+        First.Text == "?tbl")
+      return Hypothesis::tblHole();
+    if (First.K != Token::Kind::LParen)
+      return fail("expected '(' or '?tbl'");
+
+    Token Head = Lex.next(Err);
+    if (Head.K != Token::Kind::Atom)
+      return fail("expected component name after '('");
+
+    if (!Head.Quoted && Head.Text == "input") {
+      Token Idx = Lex.next(Err);
+      if (Idx.K != Token::Kind::Atom)
+        return fail("expected input index");
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Idx.Text.c_str(), &End, 10);
+      if (End != Idx.Text.c_str() + Idx.Text.size())
+        return fail("malformed input index '" + Idx.Text + "'");
+      if (Lex.next(Err).K != Token::Kind::RParen)
+        return fail("expected ')' after input index");
+      return Hypothesis::input(size_t(N));
+    }
+
+    const TableTransformer *Comp = Lib.findTable(Head.Text);
+    if (!Comp)
+      return fail("unknown component '" + Head.Text + "'");
+
+    std::vector<HypPtr> Children;
+    for (unsigned I = 0; I != Comp->numTableArgs(); ++I) {
+      HypPtr C = parseNode(Lex.next(Err));
+      if (!C)
+        return nullptr;
+      Children.push_back(std::move(C));
+    }
+    for (ParamKind PK : Comp->valueParams()) {
+      Token T = Lex.next(Err);
+      if (T.K == Token::Kind::Atom && !T.Quoted && T.Text == "?") {
+        Children.push_back(Hypothesis::valueHole(PK));
+        continue;
+      }
+      TermPtr Term = parseTerm(T);
+      if (!Term)
+        return nullptr;
+      Children.push_back(Hypothesis::filled(PK, std::move(Term)));
+    }
+    if (Lex.next(Err).K != Token::Kind::RParen)
+      return fail("expected ')' closing '" + Head.Text +
+                  "' (too many arguments?)");
+    return Hypothesis::apply(Comp, std::move(Children));
+  }
+
+  /// Parses a first-order term from \p First (its leading token).
+  TermPtr parseTerm(Token First) {
+    DepthGuard Guard(*this);
+    if (!Guard.Ok) {
+      fail("nesting deeper than " + std::to_string(MaxDepth) + " levels");
+      return nullptr;
+    }
+    if (First.K != Token::Kind::LParen) {
+      fail("expected '(' starting a term");
+      return nullptr;
+    }
+    Token Head = Lex.next(Err);
+    if (Head.K != Token::Kind::Atom) {
+      fail("expected term head");
+      return nullptr;
+    }
+
+    auto CloseParen = [&](TermPtr T) -> TermPtr {
+      if (Lex.next(Err).K != Token::Kind::RParen) {
+        fail("expected ')' closing term '" + Head.Text + "'");
+        return nullptr;
+      }
+      return T;
+    };
+
+    if (!Head.Quoted && Head.Text == "num") {
+      Token V = Lex.next(Err);
+      if (V.K != Token::Kind::Atom) {
+        fail("expected number");
+        return nullptr;
+      }
+      char *End = nullptr;
+      double D = std::strtod(V.Text.c_str(), &End);
+      if (V.Text.empty() || End != V.Text.c_str() + V.Text.size()) {
+        fail("malformed number '" + V.Text + "'");
+        return nullptr;
+      }
+      return CloseParen(Term::constant(Value::number(D)));
+    }
+    if (!Head.Quoted && Head.Text == "str") {
+      Token V = Lex.next(Err);
+      if (V.K != Token::Kind::Atom) {
+        fail("expected string");
+        return nullptr;
+      }
+      return CloseParen(Term::constant(Value::str(V.Text)));
+    }
+    if (!Head.Quoted && (Head.Text == "col" || Head.Text == "name")) {
+      Token V = Lex.next(Err);
+      if (V.K != Token::Kind::Atom) {
+        fail("expected a name after '" + Head.Text + "'");
+        return nullptr;
+      }
+      return CloseParen(Head.Text == "col" ? Term::colRef(V.Text)
+                                           : Term::nameLit(V.Text));
+    }
+    if (!Head.Quoted && Head.Text == "cols") {
+      std::vector<std::string> Cols;
+      while (true) {
+        Token T = Lex.next(Err);
+        if (T.K == Token::Kind::RParen)
+          return Term::colsLit(std::move(Cols));
+        if (T.K != Token::Kind::Atom) {
+          fail("expected a column name in (cols ...)");
+          return nullptr;
+        }
+        Cols.push_back(T.Text);
+      }
+    }
+
+    const ValueTransformer *Fn = Lib.findValue(Head.Text);
+    if (!Fn) {
+      fail("unknown value transformer '" + Head.Text + "'");
+      return nullptr;
+    }
+    std::vector<TermPtr> Args;
+    while (true) {
+      Token T = Lex.next(Err);
+      if (T.K == Token::Kind::RParen)
+        break;
+      TermPtr A = parseTerm(T);
+      if (!A)
+        return nullptr;
+      Args.push_back(std::move(A));
+    }
+    if (Args.size() != Fn->arity()) {
+      fail("'" + Head.Text + "' expects " + std::to_string(Fn->arity()) +
+           " arguments, got " + std::to_string(Args.size()));
+      return nullptr;
+    }
+    return Term::app(Fn, std::move(Args));
+  }
+};
+
+} // namespace
+
+HypPtr morpheus::parseSexp(std::string_view Text, const ComponentLibrary &Lib,
+                           std::string *Err) {
+  if (Err)
+    Err->clear();
+  return SexpParser(Text, Lib, Err).parseProgram();
+}
+
+//===----------------------------------------------------------------------===//
+// R emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Quotes names that are not syntactic R identifiers (spread can create
+/// columns named e.g. "2007") with backticks.
+std::string rIdent(const std::string &Name) {
+  bool Plain = !Name.empty() &&
+               (std::isalpha(static_cast<unsigned char>(Name[0])) ||
+                Name[0] == '.');
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' && C != '_')
+      Plain = false;
+  if (Plain)
+    return Name;
+  std::string Out = "`";
+  for (char C : Name) {
+    if (C == '`')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '`';
+  return Out;
+}
+
+std::string rString(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string termToR(const Term &T, bool Nested = false) {
+  switch (T.K) {
+  case Term::Kind::Const:
+    return T.ConstVal.isNum() ? printDouble(T.ConstVal.num())
+                              : rString(T.ConstVal.strVal());
+  case Term::Kind::ColRef:
+  case Term::Kind::NameLit:
+    return rIdent(T.Name);
+  case Term::Kind::ColsLit: {
+    std::string Out;
+    for (size_t I = 0; I != T.Cols.size(); ++I)
+      Out += (I ? ", " : "") + rIdent(T.Cols[I]);
+    return Out;
+  }
+  case Term::Kind::App: {
+    if (T.Fn->printsInfix() && T.Args.size() == 2) {
+      std::string Out = termToR(*T.Args[0], true) + " " + T.Fn->name() + " " +
+                        termToR(*T.Args[1], true);
+      // Parenthesize nested infix applications so R precedence cannot
+      // reassociate e.g. a / (b + c).
+      return Nested ? "(" + Out + ")" : Out;
+    }
+    std::string Out = T.Fn->name() + "(";
+    for (size_t I = 0; I != T.Args.size(); ++I)
+      Out += (I ? ", " : "") + termToR(*T.Args[I]);
+    return Out + ")";
+  }
+  }
+  return "?";
+}
+
+/// Formats one component application as idiomatic verb syntax.
+std::string rCall(const TableTransformer &Comp,
+                  const std::vector<std::string> &TableVars,
+                  const std::vector<TermPtr> &Terms) {
+  const std::string &Name = Comp.name();
+  auto T = [&](size_t I) { return termToR(*Terms[I]); };
+
+  if (Name == "separate" && Terms.size() == 3)
+    return "separate(" + TableVars[0] + ", " + T(0) + ", into = c(" +
+           rString(Terms[1]->Name) + ", " + rString(Terms[2]->Name) +
+           "), extra = \"merge\")";
+  if (Name == "summarise" && Terms.size() == 2)
+    return "summarise(" + TableVars[0] + ", " + T(0) + " = " + T(1) + ")";
+  if (Name == "mutate" && Terms.size() == 2)
+    return "mutate(" + TableVars[0] + ", " + T(0) + " = " + T(1) + ")";
+
+  // Everything else is verb(table..., arg...): gather/spread/unite/select/
+  // filter/group_by/inner_join/arrange/distinct match R once column lists
+  // are spliced into the argument list (ColsLit renders comma-separated).
+  std::string Out = Name + "(";
+  for (size_t I = 0; I != TableVars.size(); ++I)
+    Out += (I ? ", " : "") + TableVars[I];
+  for (const TermPtr &Arg : Terms) {
+    std::string R = termToR(*Arg);
+    if (R.empty())
+      continue; // empty column list: nothing to splice
+    Out += ", " + R;
+  }
+  return Out + ")";
+}
+
+std::string emitRNode(const Hypothesis &H,
+                      const std::vector<std::string> &InputNames,
+                      std::ostringstream &OS, unsigned &NextDf) {
+  switch (H.kind()) {
+  case Hypothesis::Kind::Input:
+    if (H.inputIndex() < InputNames.size() &&
+        !InputNames[H.inputIndex()].empty())
+      return rIdent(InputNames[H.inputIndex()]);
+    return "x" + std::to_string(H.inputIndex());
+  case Hypothesis::Kind::Apply: {
+    std::vector<std::string> TableVars;
+    std::vector<TermPtr> Terms;
+    for (const HypPtr &C : H.children()) {
+      if (C->isTableTyped())
+        TableVars.push_back(emitRNode(*C, InputNames, OS, NextDf));
+      else if (C->isFilled())
+        Terms.push_back(C->term());
+      else
+        Terms.push_back(nullptr); // unfilled hole; rendered as "?"
+    }
+    for (TermPtr &T : Terms)
+      if (!T)
+        T = Term::nameLit("?");
+    std::string Df = "df" + std::to_string(NextDf++);
+    OS << Df << " <- " << rCall(*H.component(), TableVars, Terms) << '\n';
+    return Df;
+  }
+  case Hypothesis::Kind::Filled:
+    return termToR(*H.term());
+  case Hypothesis::Kind::TblHole:
+  case Hypothesis::Kind::ValueHole:
+    return "?";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string
+morpheus::emitRProgram(const HypPtr &H,
+                       const std::vector<std::string> &InputNames,
+                       bool Prelude) {
+  std::ostringstream OS;
+  if (Prelude)
+    OS << "library(tidyr)\nlibrary(dplyr)\n\n";
+  if (!H) {
+    OS << "# no program\n";
+    return OS.str();
+  }
+  unsigned NextDf = 1;
+  std::string Result = emitRNode(*H, InputNames, OS, NextDf);
+  OS << Result << '\n';
+  return OS.str();
+}

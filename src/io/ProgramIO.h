@@ -1,0 +1,68 @@
+//===- io/ProgramIO.h - Program serialization and R emission ----*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two external representations of synthesized programs (refinement trees):
+///
+///  1. A round-trippable s-expression form, `printSexp`/`parseSexp`:
+///
+///       (select (filter (input 0) (> (col age) (num 10))) (cols name age))
+///
+///     Nodes are `(input N)`, `?tbl` (table hole), `?` (value hole) or a
+///     component application; value arguments print as terms — `(num 3.2)`,
+///     `(str "SEA")`, `(col age)`, `(cols a b)`, `(name total)` or a value-
+///     transformer application `(sum (col n))`. The parser resolves
+///     component and operator names against a ComponentLibrary and infers
+///     each value argument's ParamKind from the component signature, so
+///     printSexp(parseSexp(printSexp(p))) == printSexp(p) for every
+///     hypothesis over that library.
+///
+///  2. Executable R, `emitRProgram`: the tidyr/dplyr script the paper's
+///     tool hands back to its users, e.g.
+///
+///       library(tidyr)
+///       library(dplyr)
+///       df1 <- filter(input, age > 10)
+///       df2 <- select(df1, name, age)
+///       df2
+///
+///     Component-aware formatting produces real verb syntax (summarise's
+///     `new = fun(col)` named argument, separate's `into = c(...)`,
+///     backtick-quoting of non-syntactic column names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_IO_PROGRAMIO_H
+#define MORPHEUS_IO_PROGRAMIO_H
+
+#include "lang/Hypothesis.h"
+
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// Renders \p H (complete or partial) as a single-line s-expression.
+std::string printSexp(const HypPtr &H);
+
+/// Parses the s-expression form back into a refinement tree, resolving
+/// component and value-transformer names against \p Lib. Returns null with
+/// \p Err set on lexical errors, unknown names or arity mismatches.
+HypPtr parseSexp(std::string_view Text, const ComponentLibrary &Lib,
+                 std::string *Err = nullptr);
+
+/// Renders a complete program as an executable tidyr/dplyr R script: one
+/// `dfN <- verb(...)` assignment per component in evaluation order, the
+/// result variable on the last line. \p InputNames names the program's
+/// input tables (missing entries default to x0, x1, ...). When \p Prelude
+/// is set the script starts with the library() calls it needs.
+std::string emitRProgram(const HypPtr &H,
+                         const std::vector<std::string> &InputNames,
+                         bool Prelude = true);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_IO_PROGRAMIO_H

@@ -1,0 +1,314 @@
+//===- io/TableIO.cpp - Table serialization (CSV and JSON) --------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/TableIO.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace morpheus;
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+/// Whole-string number parse (no trailing garbage, no empty string).
+std::optional<double> parseNumber(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+/// One CSV field plus whether it was written quoted — writeCsv quotes
+/// every string cell, so quoting disambiguates the string "42" from the
+/// number 42 across a round-trip.
+struct CsvField {
+  std::string Text;
+  bool Quoted = false;
+};
+
+/// Splits CSV text into records of fields, handling quotes and embedded
+/// newlines. Returns false on an unterminated quoted field.
+bool splitCsv(std::string_view Text,
+              std::vector<std::vector<CsvField>> &Records,
+              std::string *Err) {
+  std::vector<CsvField> Fields;
+  std::string Field;
+  bool InQuotes = false, FieldWasQuoted = false, AnyField = false;
+
+  auto EndField = [&]() {
+    Fields.push_back({Field, FieldWasQuoted});
+    Field.clear();
+    FieldWasQuoted = false;
+    AnyField = true;
+  };
+  auto EndRecord = [&]() {
+    EndField();
+    Records.push_back(std::move(Fields));
+    Fields.clear();
+    AnyField = false;
+  };
+
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InQuotes) {
+      if (C == '"') {
+        if (I + 1 < Text.size() && Text[I + 1] == '"') {
+          Field += '"';
+          ++I;
+        } else {
+          InQuotes = false;
+        }
+      } else {
+        Field += C;
+      }
+      continue;
+    }
+    switch (C) {
+    case '"':
+      if (Field.empty() && !FieldWasQuoted) {
+        InQuotes = true;
+        FieldWasQuoted = true;
+      } else {
+        Field += C; // stray quote mid-field: keep it literally
+      }
+      break;
+    case ',':
+      EndField();
+      break;
+    case '\r':
+      break; // tolerate CRLF
+    case '\n':
+      EndRecord();
+      break;
+    default:
+      Field += C;
+    }
+  }
+  if (InQuotes) {
+    setErr(Err, "unterminated quoted field");
+    return false;
+  }
+  // Final record without a trailing newline.
+  if (AnyField || !Field.empty() || FieldWasQuoted)
+    EndRecord();
+  return true;
+}
+
+} // namespace
+
+std::optional<Table> morpheus::parseCsv(std::string_view Text,
+                                        std::string *Err) {
+  std::vector<std::vector<CsvField>> Records;
+  if (!splitCsv(Text, Records, Err))
+    return std::nullopt;
+  if (Records.empty() || Records.front().empty() ||
+      (Records.front().size() == 1 && Records.front().front().Text.empty() &&
+       !Records.front().front().Quoted)) {
+    setErr(Err, "missing CSV header row");
+    return std::nullopt;
+  }
+
+  const std::vector<CsvField> &Header = Records.front();
+  size_t NumCols = Header.size();
+  for (size_t R = 1; R != Records.size(); ++R) {
+    if (Records[R].size() != NumCols) {
+      setErr(Err, "row " + std::to_string(R) + " has " +
+                      std::to_string(Records[R].size()) + " fields, expected " +
+                      std::to_string(NumCols));
+      return std::nullopt;
+    }
+  }
+
+  // Type inference: a column is numeric iff every data cell is unquoted
+  // and parses fully as a number (quoting marks a cell as deliberately
+  // string-typed, so "42" survives a round-trip as a string). A column
+  // with no data rows defaults to str.
+  std::vector<Column> Cols;
+  std::vector<bool> IsNum(NumCols, Records.size() > 1);
+  for (size_t C = 0; C != NumCols; ++C)
+    for (size_t R = 1; R != Records.size(); ++R)
+      if (Records[R][C].Quoted || !parseNumber(Records[R][C].Text))
+        IsNum[C] = false;
+  for (size_t C = 0; C != NumCols; ++C)
+    Cols.push_back({Header[C].Text, IsNum[C] ? CellType::Num : CellType::Str});
+
+  std::vector<Row> Rows;
+  Rows.reserve(Records.size() - 1);
+  for (size_t R = 1; R != Records.size(); ++R) {
+    Row Out;
+    Out.reserve(NumCols);
+    for (size_t C = 0; C != NumCols; ++C) {
+      if (IsNum[C])
+        Out.push_back(Value::number(*parseNumber(Records[R][C].Text)));
+      else
+        Out.push_back(Value::str(Records[R][C].Text));
+    }
+    Rows.push_back(std::move(Out));
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+std::string morpheus::writeCsv(const Table &T) {
+  std::ostringstream OS;
+  auto WriteField = [&](const std::string &S, bool ForceQuote) {
+    if (!ForceQuote && S.find_first_of(",\"\n\r") == std::string::npos) {
+      OS << S;
+      return;
+    }
+    OS << '"';
+    for (char C : S) {
+      if (C == '"')
+        OS << '"';
+      OS << C;
+    }
+    OS << '"';
+  };
+
+  for (size_t C = 0; C != T.numCols(); ++C) {
+    if (C)
+      OS << ',';
+    WriteField(T.schema()[C].Name, false);
+  }
+  OS << '\n';
+  for (const Row &R : T.rows()) {
+    for (size_t C = 0; C != R.size(); ++C) {
+      if (C)
+        OS << ',';
+      // String cells are always quoted so the reader's type inference
+      // cannot mistake a numeric-looking string ("42", "007") for a num
+      // column on the way back in.
+      WriteField(R[C].toString(), R[C].isStr());
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::optional<Table> morpheus::tableFromJson(const JsonValue &V,
+                                             std::string *Err) {
+  if (!V.isObject()) {
+    setErr(Err, "table must be a JSON object");
+    return std::nullopt;
+  }
+  const JsonValue *ColsV = V.find("columns");
+  const JsonValue *RowsV = V.find("rows");
+  if (!ColsV || !ColsV->isArray() || ColsV->Arr.empty()) {
+    setErr(Err, "table needs a non-empty \"columns\" array");
+    return std::nullopt;
+  }
+  if (!RowsV || !RowsV->isArray()) {
+    setErr(Err, "table needs a \"rows\" array");
+    return std::nullopt;
+  }
+
+  std::vector<Column> Cols;
+  for (const JsonValue &CV : ColsV->Arr) {
+    const JsonValue *Name = CV.find("name");
+    const JsonValue *Type = CV.find("type");
+    if (!CV.isObject() || !Name || !Name->isString() || !Type ||
+        !Type->isString()) {
+      setErr(Err, "each column needs string \"name\" and \"type\" members");
+      return std::nullopt;
+    }
+    CellType CT;
+    if (Type->Str == "num")
+      CT = CellType::Num;
+    else if (Type->Str == "str")
+      CT = CellType::Str;
+    else {
+      setErr(Err, "unknown column type \"" + Type->Str +
+                      "\" (expected \"num\" or \"str\")");
+      return std::nullopt;
+    }
+    Cols.push_back({Name->Str, CT});
+  }
+
+  std::vector<Row> Rows;
+  Rows.reserve(RowsV->Arr.size());
+  for (size_t R = 0; R != RowsV->Arr.size(); ++R) {
+    const JsonValue &RV = RowsV->Arr[R];
+    if (!RV.isArray() || RV.Arr.size() != Cols.size()) {
+      setErr(Err, "row " + std::to_string(R) + " must be an array of " +
+                      std::to_string(Cols.size()) + " cells");
+      return std::nullopt;
+    }
+    Row Out;
+    Out.reserve(Cols.size());
+    for (size_t C = 0; C != RV.Arr.size(); ++C) {
+      const JsonValue &Cell = RV.Arr[C];
+      if (Cols[C].Type == CellType::Num && Cell.isNumber()) {
+        Out.push_back(Value::number(Cell.Num));
+      } else if (Cols[C].Type == CellType::Str && Cell.isString()) {
+        Out.push_back(Value::str(Cell.Str));
+      } else {
+        setErr(Err, "cell [" + std::to_string(R) + "][" + std::to_string(C) +
+                        "] does not match column type " +
+                        std::string(cellTypeName(Cols[C].Type)));
+        return std::nullopt;
+      }
+    }
+    Rows.push_back(std::move(Out));
+  }
+  return Table(Schema(std::move(Cols)), std::move(Rows));
+}
+
+JsonValue morpheus::tableToJson(const Table &T) {
+  JsonValue Out = JsonValue::object();
+  JsonValue Cols = JsonValue::array();
+  for (const Column &C : T.schema().columns()) {
+    JsonValue CV = JsonValue::object();
+    CV.set("name", JsonValue::string(C.Name));
+    CV.set("type", JsonValue::string(std::string(cellTypeName(C.Type))));
+    Cols.Arr.push_back(std::move(CV));
+  }
+  Out.set("columns", std::move(Cols));
+
+  JsonValue Rows = JsonValue::array();
+  for (const Row &R : T.rows()) {
+    JsonValue RV = JsonValue::array();
+    for (const Value &V : R) {
+      if (V.isNum())
+        RV.Arr.push_back(JsonValue::number(V.num()));
+      else
+        RV.Arr.push_back(JsonValue::string(V.strVal()));
+    }
+    Rows.Arr.push_back(std::move(RV));
+  }
+  Out.set("rows", std::move(Rows));
+  return Out;
+}
+
+std::optional<std::string> morpheus::readFile(const std::string &Path,
+                                              std::string *Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    setErr(Err, "cannot open " + Path);
+    return std::nullopt;
+  }
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+bool morpheus::writeFile(const std::string &Path, std::string_view Text,
+                         std::string *Err) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    setErr(Err, "cannot open " + Path + " for writing");
+    return false;
+  }
+  Out << Text;
+  return bool(Out);
+}

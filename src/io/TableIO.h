@@ -1,0 +1,58 @@
+//===- io/TableIO.h - Table serialization (CSV and JSON) --------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading and writing tables:
+///
+///  - CSV: RFC-4180-style (header row, quoted fields with "" escapes).
+///    Column types are inferred — a column whose every cell parses as a
+///    number is num, anything else str.
+///  - JSON: the object form used inside problem files,
+///      {"columns": [{"name": "id", "type": "num"}, ...],
+///       "rows": [[1, "Alice"], ...]}
+///
+/// All readers report malformed input through an optional error string and
+/// a nullopt result; they never abort on bad data (problem files are
+/// user-supplied).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_IO_TABLEIO_H
+#define MORPHEUS_IO_TABLEIO_H
+
+#include "io/Json.h"
+#include "table/Table.h"
+
+namespace morpheus {
+
+/// Parses CSV text (first record is the header). Returns nullopt on ragged
+/// rows, an empty header or unterminated quotes.
+std::optional<Table> parseCsv(std::string_view Text,
+                              std::string *Err = nullptr);
+
+/// Renders \p T as CSV with a header row. Fields containing commas, quotes
+/// or newlines are quoted; numeric cells use Value::toString formatting.
+std::string writeCsv(const Table &T);
+
+/// Converts the JSON object form to a Table. Checks that every row has one
+/// cell per column and every cell matches its column's declared type.
+std::optional<Table> tableFromJson(const JsonValue &V,
+                                   std::string *Err = nullptr);
+
+/// Converts \p T to the JSON object form (inverse of tableFromJson).
+JsonValue tableToJson(const Table &T);
+
+/// Reads a whole file into a string; nullopt (with \p Err) when unreadable.
+std::optional<std::string> readFile(const std::string &Path,
+                                    std::string *Err = nullptr);
+
+/// Writes \p Text to \p Path, returning false (with \p Err) on failure.
+bool writeFile(const std::string &Path, std::string_view Text,
+               std::string *Err = nullptr);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_IO_TABLEIO_H

@@ -223,42 +223,3 @@ std::string Hypothesis::toString() const {
   return "?";
 }
 
-namespace {
-/// Emits nested applies as a df1=..., df2=... assignment sequence.
-std::string emitRScript(const Hypothesis &H,
-                        const std::vector<std::string> &InputNames,
-                        std::ostringstream &OS, unsigned &NextDf) {
-  switch (H.kind()) {
-  case Hypothesis::Kind::Input:
-    return H.inputIndex() < InputNames.size()
-               ? InputNames[H.inputIndex()]
-               : "x" + std::to_string(H.inputIndex());
-  case Hypothesis::Kind::Filled:
-    return H.term()->toString();
-  case Hypothesis::Kind::Apply: {
-    std::vector<std::string> Parts;
-    for (const HypPtr &C : H.children())
-      Parts.push_back(emitRScript(*C, InputNames, OS, NextDf));
-    std::string Call = H.component()->name() + "(";
-    for (size_t I = 0; I != Parts.size(); ++I)
-      Call += (I ? ", " : "") + Parts[I];
-    Call += ")";
-    std::string Df = "df" + std::to_string(NextDf++);
-    OS << Df << " = " << Call << '\n';
-    return Df;
-  }
-  case Hypothesis::Kind::TblHole:
-  case Hypothesis::Kind::ValueHole:
-    return "?";
-  }
-  return "?";
-}
-} // namespace
-
-std::string
-Hypothesis::toRScript(const std::vector<std::string> &InputNames) const {
-  std::ostringstream OS;
-  unsigned NextDf = 1;
-  emitRScript(*this, InputNames, OS, NextDf);
-  return OS.str();
-}

@@ -111,13 +111,10 @@ public:
   /// Component names of Apply nodes in pre-order (for the n-gram model).
   void collectComponentNames(std::vector<std::string> &Out) const;
 
-  /// Renders the hypothesis: `select(filter(x0, ?pred), ?cols)`.
+  /// Renders the hypothesis: `select(filter(x0, ?pred), ?cols)`. For
+  /// executable R output use io/ProgramIO's emitRProgram; for a
+  /// round-trippable form use printSexp.
   std::string toString() const;
-
-  /// Renders a complete program as the paper's R-style assignment sequence:
-  ///   df1 = filter(input, dest == "SEA")
-  ///   df2 = summarise(group_by(df1, origin), n = n())
-  std::string toRScript(const std::vector<std::string> &InputNames) const;
 
 private:
   Hypothesis() = default;

@@ -7,7 +7,6 @@
 #include "suite/Runner.h"
 
 #include "interp/Components.h"
-#include "synth/Portfolio.h"
 
 #include <algorithm>
 #include <functional>
@@ -17,6 +16,9 @@ using namespace morpheus;
 
 namespace {
 
+/// Shared suite loop: runs every task through \p Run and prints one
+/// progress line per task. Both suite entry points (sequential and
+/// portfolio) are this helper with a different task runner.
 std::vector<TaskResult>
 runSuiteWith(const std::vector<BenchmarkTask> &Suite,
              const std::function<TaskResult(const BenchmarkTask &)> &Run,
@@ -36,6 +38,17 @@ runSuiteWith(const std::vector<BenchmarkTask> &Suite,
   return Results;
 }
 
+/// Engine::solve result -> suite row.
+TaskResult toTaskResult(const BenchmarkTask &T, const Solution &S) {
+  TaskResult Out;
+  Out.TaskId = T.Id;
+  Out.Category = T.Category;
+  Out.Solved = bool(S);
+  Out.Seconds = S.Seconds;
+  Out.Stats = S.Stats;
+  return Out;
+}
+
 } // namespace
 
 ComponentLibrary morpheus::libraryForTask(const BenchmarkTask &T) {
@@ -43,20 +56,18 @@ ComponentLibrary morpheus::libraryForTask(const BenchmarkTask &T) {
                              : StandardComponents::get().tidyDplyr();
 }
 
+Problem morpheus::toProblem(const BenchmarkTask &T) {
+  Problem P = Problem::fromTables(T.Inputs, T.Output, T.OrderedCompare);
+  P.Name = T.Id;
+  P.Description = T.Description;
+  return P;
+}
+
 TaskResult morpheus::runTask(const BenchmarkTask &T,
                              const SynthesisConfig &Cfg) {
-  SynthesisConfig TaskCfg = Cfg;
-  TaskCfg.OrderedCompare = T.OrderedCompare;
-  Synthesizer S(libraryForTask(T), TaskCfg);
-  SynthesisResult R = S.synthesize(T.Inputs, T.Output);
-
-  TaskResult Out;
-  Out.TaskId = T.Id;
-  Out.Category = T.Category;
-  Out.Solved = bool(R);
-  Out.Seconds = R.Stats.ElapsedSeconds;
-  Out.Stats = R.Stats;
-  return Out;
+  Engine E(libraryForTask(T),
+           EngineOptions().config(Cfg).strategy(Strategy::Sequential));
+  return toTaskResult(T, E.solve(toProblem(T)));
 }
 
 std::vector<TaskResult>
@@ -70,20 +81,11 @@ morpheus::runSuite(const std::vector<BenchmarkTask> &Suite,
 TaskResult morpheus::runTaskPortfolio(const BenchmarkTask &T,
                                       const SynthesisConfig &Cfg,
                                       unsigned MaxThreads) {
-  SynthesisConfig TaskCfg = Cfg;
-  TaskCfg.OrderedCompare = T.OrderedCompare;
-  PortfolioSynthesizer P(libraryForTask(T),
-                         PortfolioSynthesizer::sizeClassVariants(TaskCfg),
-                         MaxThreads);
-  PortfolioResult R = P.synthesize(T.Inputs, T.Output);
-
-  TaskResult Out;
-  Out.TaskId = T.Id;
-  Out.Category = T.Category;
-  Out.Solved = bool(R);
-  Out.Seconds = R.ElapsedSeconds;
-  Out.Stats = R.Stats;
-  return Out;
+  Engine E(libraryForTask(T), EngineOptions()
+                                  .config(Cfg)
+                                  .strategy(Strategy::Portfolio)
+                                  .threads(MaxThreads));
+  return toTaskResult(T, E.solve(toProblem(T)));
 }
 
 std::vector<TaskResult>

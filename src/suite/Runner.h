@@ -9,13 +9,17 @@
 /// evaluation compares (Figure 16: No deduction / Spec 1 / Spec 2;
 /// Figure 17: ± partial evaluation) and aggregates per-category results.
 ///
+/// The per-task entry points are thin wrappers over api/Engine — the
+/// public facade is the one synthesis boundary; this layer only adds the
+/// task-to-problem plumbing and suite aggregation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MORPHEUS_SUITE_RUNNER_H
 #define MORPHEUS_SUITE_RUNNER_H
 
+#include "api/Engine.h"
 #include "suite/Task.h"
-#include "synth/Synthesizer.h"
 
 #include <iosfwd>
 
@@ -34,7 +38,11 @@ struct TaskResult {
 /// SQL-relevant components, everything else the tidyr/dplyr library.
 ComponentLibrary libraryForTask(const BenchmarkTask &T);
 
-/// Runs \p T under \p Cfg using libraryForTask(T).
+/// The api::Problem a benchmark task poses (inputs, expected output,
+/// compare mode; the ground truth stays behind).
+Problem toProblem(const BenchmarkTask &T);
+
+/// Runs \p T through an Engine built from \p Cfg and libraryForTask(T).
 TaskResult runTask(const BenchmarkTask &T, const SynthesisConfig &Cfg);
 
 /// Runs every task of \p Suite; when \p Progress is non-null, prints one

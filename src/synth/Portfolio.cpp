@@ -45,7 +45,8 @@ PortfolioSynthesizer::sizeClassVariants(SynthesisConfig Base) {
 
 PortfolioResult
 PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
-                                 const Table &Output) {
+                                 const Table &Output,
+                                 CancellationToken Cancel) {
   auto Start = std::chrono::steady_clock::now();
 
   // The portfolio's wall clock never exceeds the largest member budget:
@@ -59,7 +60,9 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
         std::chrono::duration_cast<std::chrono::milliseconds>(V.Timeout));
   auto GlobalDeadline = Start + MaxTimeout;
 
-  std::atomic<bool> Stop{false};
+  // Fresh stop flag per run, linked to the caller's token: the winner
+  // cancels its siblings without marking the caller's token as stopped.
+  CancellationToken Stop = Cancel.makeLinked();
   std::atomic<int> Winner{-1};
   std::atomic<size_t> NextVariant{0};
   std::vector<SynthesisResult> Results(Variants.size());
@@ -69,15 +72,16 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
     for (size_t I = NextVariant.fetch_add(1, std::memory_order_relaxed);
          I < Variants.size();
          I = NextVariant.fetch_add(1, std::memory_order_relaxed)) {
-      if (Stop.load(std::memory_order_acquire))
-        break; // a winner exists; don't start stragglers
+      if (Stop.stopRequested())
+        break; // a winner exists (or the caller cancelled); don't start
+               // stragglers
       auto Remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           GlobalDeadline - std::chrono::steady_clock::now());
       if (Remaining <= std::chrono::milliseconds::zero())
         break; // global budget exhausted before this member's turn
       Started[I] = 1;
       SynthesisConfig Cfg = Variants[I];
-      Cfg.StopFlag = &Stop;
+      Cfg.Cancel = Stop;
       Cfg.Timeout = std::min(
           std::chrono::duration_cast<std::chrono::milliseconds>(Cfg.Timeout),
           Remaining);
@@ -89,7 +93,7 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
         int Expected = -1;
         if (Winner.compare_exchange_strong(Expected, int(I),
                                            std::memory_order_acq_rel))
-          Stop.store(true, std::memory_order_release);
+          Stop.requestStop();
       }
       Results[I] = std::move(R);
     }

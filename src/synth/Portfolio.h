@@ -9,15 +9,15 @@
 /// different sizes in parallel threads and stops as soon as any thread
 /// finds one". A PortfolioSynthesizer runs one Synthesizer per
 /// SynthesisConfig variant — by default one per program-size class — on a
-/// pool of std::threads sharing an atomic stop flag. The first member to
-/// find a solution wins; the flag cancels every other member mid-search
-/// (SynthesisConfig::StopFlag).
+/// pool of std::threads sharing a CancellationToken. The first member to
+/// find a solution wins; the token cancels every other member mid-search
+/// (SynthesisConfig::Cancel).
 ///
 /// Members are independent engines (own Z3 context, own evaluation cache,
-/// own worklist); the only shared mutable state is the stop flag and the
-/// winner index, both atomics. The component library and the singleton
-/// models (StandardComponents, NGramModel) are immutable after
-/// construction and safe to share.
+/// own worklist); the only shared mutable state is the cancellation token
+/// and the winner index. The component library and the singleton models
+/// (StandardComponents, NGramModel) are immutable after construction and
+/// safe to share.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,9 +71,13 @@ public:
 
   /// Runs every variant concurrently; returns the first solution found
   /// (and cancels the rest), or a null program when every member exhausted
-  /// its budget.
+  /// its budget. \p Cancel aborts the whole portfolio from outside: every
+  /// member runs on a token linked to it, so a stop requested by the caller
+  /// reaches all members while the winner's internal stop never propagates
+  /// back to the caller's token.
   PortfolioResult synthesize(const std::vector<Table> &Inputs,
-                             const Table &Output);
+                             const Table &Output,
+                             CancellationToken Cancel = {});
 
   size_t numVariants() const { return Variants.size(); }
   const std::vector<SynthesisConfig> &variants() const { return Variants; }

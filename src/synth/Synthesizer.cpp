@@ -97,8 +97,7 @@ private:
     if ((++ExpiryPoll & 0xF) != 0)
       return false;
     TimedOut = std::chrono::steady_clock::now() >= Deadline ||
-               (Cfg.StopFlag &&
-                Cfg.StopFlag->load(std::memory_order_relaxed));
+               Cfg.Cancel.stopRequested();
     return TimedOut;
   }
 

@@ -20,12 +20,12 @@
 #ifndef MORPHEUS_SYNTH_SYNTHESIZER_H
 #define MORPHEUS_SYNTH_SYNTHESIZER_H
 
+#include "api/CancellationToken.h"
 #include "lang/Hypothesis.h"
 #include "ngram/NGramModel.h"
 #include "smt/Deduce.h"
 #include "synth/Inhabitation.h"
 
-#include <atomic>
 #include <chrono>
 
 namespace morpheus {
@@ -74,10 +74,11 @@ struct SynthesisConfig {
   /// deep programs (5 components) at the cost of noisy times on small
   /// ones; the default is the classic single cost-ordered worklist.
   bool FairSizeScheduling = false;
-  /// External cancellation (Section 8 portfolio): when non-null, the search
-  /// polls the flag and aborts — reported as a timeout — once it is set.
-  /// The pointee must outlive the synthesis run.
-  std::atomic<bool> *StopFlag = nullptr;
+  /// External cancellation (Section 8 portfolio, Engine::solve): the search
+  /// polls the token and aborts — reported as a timeout — once a stop is
+  /// requested. The default-constructed token is inert (never cancels); the
+  /// token shares ownership of its flag, so there is no lifetime to manage.
+  CancellationToken Cancel;
   InhabitationConfig Inhab;
 };
 

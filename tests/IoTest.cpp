@@ -1,0 +1,364 @@
+//===- tests/IoTest.cpp - Serialization subsystem -----------------------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers src/io: the JSON parser/writer, CSV and JSON table round-trips
+/// with malformed-input error paths, the JSON problem format, and — the
+/// acceptance bar for program serialization — the s-expression
+/// print -> parse round-trip over every ground-truth program of both
+/// benchmark suites (all 108 tasks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Components.h"
+#include "io/ProblemIO.h"
+#include "io/ProgramIO.h"
+#include "io/TableIO.h"
+#include "suite/Task.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace morpheus;
+
+namespace {
+
+/// Every standard component and value transformer, so any suite ground
+/// truth parses regardless of which library its task uses.
+ComponentLibrary fullLibrary() {
+  ComponentLibrary Lib;
+  Lib.TableTransformers = StandardComponents::get().all();
+  Lib.ValueTransformers = StandardValueOps::get().all();
+  return Lib;
+}
+
+Table sampleTable() {
+  return makeTable({{"id", CellType::Num},
+                    {"name", CellType::Str},
+                    {"score", CellType::Num}},
+                   {{num(1), str("Alice"), num(3.5)},
+                    {num(2), str("Bob, Jr."), num(-2)},
+                    {num(3), str("say \"hi\""), num(0.25)}});
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  std::string Err;
+  std::optional<JsonValue> V =
+      parseJson(R"({"a": [1, -2.5, "x\n", true, null], "b": {}})", &Err);
+  ASSERT_TRUE(V) << Err;
+  const JsonValue *A = V->find("a");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->Arr.size(), 5u);
+  EXPECT_EQ(A->Arr[0].Num, 1);
+  EXPECT_EQ(A->Arr[1].Num, -2.5);
+  EXPECT_EQ(A->Arr[2].Str, "x\n");
+  EXPECT_TRUE(A->Arr[3].B);
+  EXPECT_TRUE(A->Arr[4].isNull());
+  ASSERT_TRUE(V->find("b"));
+  EXPECT_TRUE(V->find("b")->isObject());
+}
+
+TEST(Json, DumpParsesBack) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("nums", JsonValue::array({JsonValue::number(1),
+                                    JsonValue::number(0.125)}));
+  Obj.set("text", JsonValue::string("quote \" backslash \\ newline \n"));
+  for (unsigned Indent : {0u, 2u}) {
+    std::string Err;
+    std::optional<JsonValue> Back = parseJson(Obj.dump(Indent), &Err);
+    ASSERT_TRUE(Back) << Err;
+    EXPECT_EQ(Back->find("text")->Str, Obj.find("text")->Str);
+    EXPECT_EQ(Back->find("nums")->Arr[1].Num, 0.125);
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "\"unterminated", "tru", "1 2",
+        "{\"a\": 1,}", "[1, \"\\q\"]"}) {
+    std::string Err;
+    EXPECT_FALSE(parseJson(Bad, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(Json, RejectsPathologicalNestingCleanly) {
+  // Deep nesting must produce an error, not a stack-overflow crash.
+  std::string Deep(100000, '[');
+  std::string Err;
+  EXPECT_FALSE(parseJson(Deep, &Err));
+  EXPECT_NE(Err.find("nesting"), std::string::npos) << Err;
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  // JSON has no NaN/Infinity literal; the writer must stay parseable.
+  EXPECT_EQ(JsonValue::number(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue::number(HUGE_VAL).dump(), "null");
+}
+
+//===----------------------------------------------------------------------===//
+// CSV
+//===----------------------------------------------------------------------===//
+
+TEST(Csv, RoundTripsTypesAndQuoting) {
+  Table T = sampleTable();
+  std::string Csv = writeCsv(T);
+  std::string Err;
+  std::optional<Table> Back = parseCsv(Csv, &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->schema(), T.schema()); // names and inferred types
+  EXPECT_TRUE(Back->equalsOrdered(T));
+}
+
+TEST(Csv, NumericLookingStringsStayStrings) {
+  // writeCsv quotes string cells, and quoted cells are excluded from
+  // numeric inference — so the string "42" (or "007", which would even
+  // change value) survives a round-trip typed and intact.
+  Table T = makeTable({{"code", CellType::Str}, {"n", CellType::Num}},
+                      {{str("42"), num(42)}, {str("007"), num(7)}});
+  std::string Err;
+  std::optional<Table> Back = parseCsv(writeCsv(T), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->schema(), T.schema());
+  EXPECT_TRUE(Back->equalsOrdered(T));
+}
+
+TEST(Csv, ParsesQuotedFieldsWithEmbeddedStructure) {
+  std::string Err;
+  std::optional<Table> T = parseCsv(
+      "name,note\nAlice,\"line1\nline2\"\n\"B,ob\",\"he said \"\"hi\"\"\"\n",
+      &Err);
+  ASSERT_TRUE(T) << Err;
+  ASSERT_EQ(T->numRows(), 2u);
+  EXPECT_EQ(T->at(0, 1).strVal(), "line1\nline2");
+  EXPECT_EQ(T->at(1, 0).strVal(), "B,ob");
+  EXPECT_EQ(T->at(1, 1).strVal(), "he said \"hi\"");
+}
+
+TEST(Csv, InfersNumericColumnsOnlyWhenEveryCellParses) {
+  std::optional<Table> T = parseCsv("a,b\n1,2\n3,x\n");
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->schema()[0].Type, CellType::Num);
+  EXPECT_EQ(T->schema()[1].Type, CellType::Str);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseCsv("", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseCsv("a,b\n1\n", &Err)); // ragged row
+  EXPECT_FALSE(parseCsv("a,b\n\"unterminated,1\n", &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON tables
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTable, RoundTrips) {
+  Table T = sampleTable();
+  std::string Err;
+  std::optional<Table> Back = tableFromJson(tableToJson(T), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->schema(), T.schema());
+  EXPECT_TRUE(Back->equalsOrdered(T));
+}
+
+TEST(JsonTable, RejectsSchemaViolations) {
+  auto Check = [](const char *Doc) {
+    std::string Err;
+    std::optional<JsonValue> V = parseJson(Doc);
+    ASSERT_TRUE(V) << Doc;
+    EXPECT_FALSE(tableFromJson(*V, &Err)) << Doc;
+    EXPECT_FALSE(Err.empty()) << Doc;
+  };
+  Check(R"([1, 2])");                                     // not an object
+  Check(R"({"rows": []})");                               // no columns
+  Check(R"({"columns": [], "rows": []})");                // empty columns
+  Check(R"({"columns": [{"name": "a", "type": "bool"}], "rows": []})");
+  Check(R"({"columns": [{"name": "a", "type": "num"}], "rows": [[1, 2]]})");
+  Check(R"({"columns": [{"name": "a", "type": "num"}], "rows": [["x"]]})");
+  Check(R"({"columns": [{"name": "a", "type": "str"}], "rows": [[1]]})");
+}
+
+//===----------------------------------------------------------------------===//
+// Problem files
+//===----------------------------------------------------------------------===//
+
+TEST(ProblemJson, RoundTripsIncludingNamesAndOptions) {
+  Problem P;
+  P.Name = "roundtrip";
+  P.Description = "two inputs, ordered compare";
+  P.Inputs = {sampleTable(), makeTable({{"k", CellType::Num}}, {{num(7)}})};
+  P.InputNames = {"left", ""};
+  P.Output = makeTable({{"k", CellType::Num}}, {{num(7)}});
+  P.OrderedCompare = true;
+
+  std::string Err;
+  std::optional<Problem> Back = problemFromJson(problemToJson(P), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Name, P.Name);
+  EXPECT_EQ(Back->Description, P.Description);
+  ASSERT_EQ(Back->Inputs.size(), 2u);
+  EXPECT_TRUE(Back->Inputs[0].equalsOrdered(P.Inputs[0]));
+  EXPECT_EQ(Back->inputNames(),
+            (std::vector<std::string>{"left", "x1"}));
+  EXPECT_TRUE(Back->Output.equalsOrdered(P.Output));
+  EXPECT_TRUE(Back->OrderedCompare);
+}
+
+TEST(ProblemJson, RejectsMissingPieces) {
+  auto Check = [](const char *Doc) {
+    std::string Err;
+    std::optional<JsonValue> V = parseJson(Doc);
+    ASSERT_TRUE(V) << Doc;
+    EXPECT_FALSE(problemFromJson(*V, &Err)) << Doc;
+    EXPECT_FALSE(Err.empty()) << Doc;
+  };
+  Check(R"({})");
+  Check(R"({"inputs": []})"); // empty inputs
+  // Missing output.
+  Check(R"({"inputs": [{"columns": [{"name": "a", "type": "num"}],
+                        "rows": []}]})");
+  // Malformed nested table is reported with its input index.
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(
+      R"({"inputs": [{"columns": [{"name": "a", "type": "num"}],
+                      "rows": [["x"]]}],
+          "output": {"columns": [{"name": "a", "type": "num"}],
+                     "rows": []}})");
+  ASSERT_TRUE(V);
+  EXPECT_FALSE(problemFromJson(*V, &Err));
+  EXPECT_NE(Err.find("input 0"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Program s-expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Sexp, RoundTripIsIdentityOnAllSuiteGroundTruths) {
+  ComponentLibrary Lib = fullLibrary();
+  size_t Checked = 0;
+  for (const std::vector<BenchmarkTask> *Suite :
+       {&morpheusSuite(), &sqlSuite()}) {
+    for (const BenchmarkTask &T : *Suite) {
+      std::string Printed = printSexp(T.GroundTruth);
+      std::string Err;
+      HypPtr Back = parseSexp(Printed, Lib, &Err);
+      ASSERT_TRUE(Back) << T.Id << ": " << Err << "\n  " << Printed;
+      // Identity: re-printing reproduces the text, and the parsed program
+      // still evaluates to the task's expected output.
+      EXPECT_EQ(printSexp(Back), Printed) << T.Id;
+      std::optional<Table> Out = Back->evaluate(T.Inputs);
+      ASSERT_TRUE(Out) << T.Id;
+      EXPECT_TRUE(T.OrderedCompare ? Out->equalsOrdered(T.Output)
+                                   : Out->equalsUnordered(T.Output))
+          << T.Id;
+      ++Checked;
+    }
+  }
+  EXPECT_EQ(Checked, 108u); // 80 data-preparation tasks + 28 SQL tasks
+}
+
+TEST(Sexp, RoundTripsPartialHypothesesAndQuotedAtoms) {
+  ComponentLibrary Lib = fullLibrary();
+  const TableTransformer *Filter = Lib.findTable("filter");
+  const TableTransformer *Select = Lib.findTable("select");
+  ASSERT_TRUE(Filter && Select);
+
+  // select(filter(?tbl, ?), (cols "weird name" plain))
+  HypPtr H = Hypothesis::apply(
+      Select,
+      {Hypothesis::apply(Filter, {Hypothesis::tblHole(),
+                                  Hypothesis::valueHole(ParamKind::Pred)}),
+       Hypothesis::filled(ParamKind::ColsOrdered,
+                          Term::colsLit({"weird name", "plain"}))});
+  std::string Printed = printSexp(H);
+  std::string Err;
+  HypPtr Back = parseSexp(Printed, Lib, &Err);
+  ASSERT_TRUE(Back) << Err << "\n  " << Printed;
+  EXPECT_EQ(printSexp(Back), Printed);
+  EXPECT_EQ(Back->numTblHoles(), 1u);
+  EXPECT_EQ(Back->numValueHoles(), 1u);
+}
+
+TEST(Sexp, ReportsMalformedPrograms) {
+  ComponentLibrary Lib = fullLibrary();
+  for (const char *Bad : {
+           "",                                       // empty
+           "(frobnicate (input 0))",                 // unknown component
+           "(filter (input 0))",                     // too few arguments
+           "(distinct (input 0) (num 1))",           // too many arguments
+           "(filter (input 0) (bogus (col a)))",     // unknown operator
+           "(filter (input 0) (> (col a)))",         // operator arity
+           "(select (filter (input 0) ?) (cols a)",  // unbalanced parens
+           "(input x)",                              // bad input index
+           "(select (input 0) (cols \"unterminated))", // lexical error
+       }) {
+    std::string Err;
+    EXPECT_FALSE(parseSexp(Bad, Lib, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(Sexp, RejectsPathologicalNestingCleanly) {
+  std::string Deep;
+  for (int I = 0; I != 100000; ++I)
+    Deep += "(distinct ";
+  std::string Err;
+  EXPECT_FALSE(parseSexp(Deep, fullLibrary(), &Err));
+  EXPECT_NE(Err.find("nesting"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// R emission
+//===----------------------------------------------------------------------===//
+
+TEST(REmit, EmitsExecutableVerbSyntax) {
+  ComponentLibrary Lib = fullLibrary();
+  const ValueTransformer *Gt = Lib.findValue(">");
+  ASSERT_TRUE(Gt);
+
+  // summarise(group_by(filter(x, age > 10), dept), total = sum(pay))
+  HypPtr H = Hypothesis::apply(
+      Lib.findTable("summarise"),
+      {Hypothesis::apply(
+           Lib.findTable("group_by"),
+           {Hypothesis::apply(
+                Lib.findTable("filter"),
+                {Hypothesis::input(0),
+                 Hypothesis::filled(
+                     ParamKind::Pred,
+                     Term::app(Gt, {Term::colRef("age"),
+                                    Term::constant(Value::number(10))}))}),
+            Hypothesis::filled(ParamKind::Cols, Term::colsLit({"dept"}))}),
+       Hypothesis::filled(ParamKind::NewName, Term::nameLit("total")),
+       Hypothesis::filled(ParamKind::Agg,
+                          Term::app(Lib.findValue("sum"),
+                                    {Term::colRef("pay")}))});
+
+  std::string R = emitRProgram(H, {"staff"});
+  EXPECT_NE(R.find("library(dplyr)"), std::string::npos);
+  EXPECT_NE(R.find("df1 <- filter(staff, age > 10)"), std::string::npos);
+  EXPECT_NE(R.find("df2 <- group_by(df1, dept)"), std::string::npos);
+  EXPECT_NE(R.find("df3 <- summarise(df2, total = sum(pay))"),
+            std::string::npos);
+
+  // Non-syntactic column names are backtick-quoted.
+  HypPtr Sel = Hypothesis::apply(
+      Lib.findTable("select"),
+      {Hypothesis::input(0),
+       Hypothesis::filled(ParamKind::ColsOrdered,
+                          Term::colsLit({"2007", "ok"}))});
+  std::string R2 = emitRProgram(Sel, {}, /*Prelude=*/false);
+  EXPECT_NE(R2.find("select(x0, `2007`, ok)"), std::string::npos);
+}
+
+} // namespace

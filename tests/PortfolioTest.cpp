@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Covers the parallel portfolio: the external stop flag on a single
-/// Synthesizer, first-solution-wins across size classes, stop-flag
+/// Covers the parallel portfolio: external cancellation of a single
+/// Synthesizer, first-solution-wins across size classes, cancellation
 /// propagation from the winner to still-running members, and equivalence
 /// of portfolio and sequential results on the smoke examples.
 ///
@@ -74,11 +74,12 @@ TEST(Portfolio, SizeClassVariantsPartitionTheSearch) {
   }
 }
 
-TEST(Portfolio, SynthesizerHonorsExternalStopFlag) {
-  std::atomic<bool> Stop{true}; // cancelled before the search starts
+TEST(Portfolio, SynthesizerHonorsExternalCancellation) {
+  CancellationToken Cancel = CancellationToken::create();
+  Cancel.requestStop(); // cancelled before the search starts
   SynthesisConfig Cfg;
   Cfg.Timeout = std::chrono::milliseconds(30000);
-  Cfg.StopFlag = &Stop;
+  Cfg.Cancel = Cancel;
   Synthesizer S(StandardComponents::get().tidyDplyr(), Cfg);
   // The flights example takes the sequential engine well over a second;
   // with the flag set it must abort almost immediately.
@@ -103,10 +104,10 @@ TEST(Portfolio, FirstSolutionWins) {
   EXPECT_TRUE(Out->equalsUnordered(filterProjectOutput()));
 }
 
-TEST(Portfolio, StopFlagCancelsLosingMembers) {
+TEST(Portfolio, WinnerCancelsLosingMembers) {
   // One member solves the task at size 2 in well under a second; the other
   // is pinned to size-5 programs with a 60 s budget and can only stop
-  // early because the winner's flag reaches it.
+  // early because the winner's cancellation reaches it.
   SynthesisConfig Fast;
   Fast.Timeout = std::chrono::milliseconds(60000);
   Fast.MaxComponents = 2;

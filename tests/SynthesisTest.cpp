@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/Components.h"
+#include "io/ProgramIO.h"
 #include "ngram/NGramModel.h"
 #include "suite/Runner.h"
 #include "synth/Inhabitation.h"
@@ -73,9 +74,9 @@ TEST(Hypothesis, EvaluateCompleteProgram) {
 
 TEST(Hypothesis, RScriptRendering) {
   HypPtr P = select(filter(in(0), "v", ">", num(1)), {"k"});
-  std::string Script = P->toRScript({"input"});
-  EXPECT_NE(Script.find("df1 = filter(input, v > 1)"), std::string::npos);
-  EXPECT_NE(Script.find("df2 = select(df1, k)"), std::string::npos);
+  std::string Script = emitRProgram(P, {"input"}, /*Prelude=*/false);
+  EXPECT_NE(Script.find("df1 <- filter(input, v > 1)"), std::string::npos);
+  EXPECT_NE(Script.find("df2 <- select(df1, k)"), std::string::npos);
 }
 
 TEST(Hypothesis, ComponentNamesInPipelineOrder) {

@@ -1,0 +1,304 @@
+//===- tools/morpheus_cli.cpp - The morpheus command-line tool ----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing entry point: point MORPHEUS at a JSON problem file and
+/// get back the tidyr/dplyr R program that performs the transformation.
+///
+///   morpheus solve task.json [--strategy sequential|portfolio]
+///                            [--emit r|sexp|both] [--timeout MS]
+///                            [--threads N] [--spec spec1|spec2]
+///                            [--no-deduction] [--library tidy|sql]
+///   morpheus bench --suite morpheus|sql [--config spec2|spec1|nodeduction]
+///                            [--strategy sequential|portfolio]
+///                            [--timeout MS] [--threads N] [--limit N]
+///
+/// Exit codes: 0 solved / bench completed, 1 not solved, 2 usage or input
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Engine.h"
+#include "io/ProblemIO.h"
+#include "io/ProgramIO.h"
+#include "suite/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace morpheus;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::fprintf(stderr, "error: %s\n\n", Msg);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  morpheus solve <task.json> [options]   synthesize a program for a\n"
+      "                                         JSON problem file\n"
+      "  morpheus bench [options]               run a compiled-in benchmark\n"
+      "                                         suite\n"
+      "\n"
+      "solve options:\n"
+      "  --strategy sequential|portfolio  search strategy (default\n"
+      "                                   sequential)\n"
+      "  --emit r|sexp|both               program output form (default r)\n"
+      "  --timeout MS                     wall-clock budget (default 30000)\n"
+      "  --threads N                      portfolio pool size (default:\n"
+      "                                   hardware concurrency)\n"
+      "  --spec spec1|spec2               specification family (default\n"
+      "                                   spec2)\n"
+      "  --no-deduction                   disable SMT deduction\n"
+      "  --library tidy|sql               component library (default tidy)\n"
+      "  --quiet                          print only the program\n"
+      "\n"
+      "bench options:\n"
+      "  --suite morpheus|sql             which suite (default morpheus)\n"
+      "  --config spec2|spec1|nodeduction paper configuration (default\n"
+      "                                   spec2)\n"
+      "  --strategy, --timeout, --threads as above (default timeout 5000)\n"
+      "  --limit N                        run only the first N tasks\n");
+  return 2;
+}
+
+struct ArgReader {
+  std::vector<std::string> Args;
+  size_t I = 0;
+
+  bool done() const { return I >= Args.size(); }
+  const std::string &peek() const { return Args[I]; }
+  std::string next() { return Args[I++]; }
+
+  /// Consumes "--flag value"; false (with message) when the value is gone.
+  bool value(const std::string &Flag, std::string &Out) {
+    if (done()) {
+      std::fprintf(stderr, "error: %s needs a value\n", Flag.c_str());
+      return false;
+    }
+    Out = next();
+    return true;
+  }
+};
+
+std::optional<int> parseIntArg(const std::string &S) {
+  char *End = nullptr;
+  long V = std::strtol(S.c_str(), &End, 10);
+  if (S.empty() || End != S.c_str() + S.size() || V < 0)
+    return std::nullopt;
+  return int(V);
+}
+
+int runSolve(ArgReader &Args) {
+  std::string TaskPath, Emit = "r", LibraryName = "tidy";
+  EngineOptions Opts;
+  Opts.timeout(std::chrono::milliseconds(30000));
+  bool Quiet = false;
+
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--strategy") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V == "sequential")
+        Opts.strategy(Strategy::Sequential);
+      else if (V == "portfolio")
+        Opts.strategy(Strategy::Portfolio);
+      else
+        return usage("unknown strategy (use sequential or portfolio)");
+    } else if (A == "--emit") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V != "r" && V != "sexp" && V != "both")
+        return usage("unknown emit form (use r, sexp or both)");
+      Emit = V;
+    } else if (A == "--timeout") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> MS = parseIntArg(V);
+      if (!MS)
+        return usage("--timeout expects milliseconds");
+      Opts.timeout(std::chrono::milliseconds(*MS));
+    } else if (A == "--threads") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--threads expects a number");
+      Opts.threads(unsigned(*N));
+    } else if (A == "--spec") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V == "spec1")
+        Opts.specLevel(SpecLevel::Spec1);
+      else if (V == "spec2")
+        Opts.specLevel(SpecLevel::Spec2);
+      else
+        return usage("unknown spec level (use spec1 or spec2)");
+    } else if (A == "--no-deduction") {
+      Opts.deduction(false);
+    } else if (A == "--library") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V != "tidy" && V != "sql")
+        return usage("unknown library (use tidy or sql)");
+      LibraryName = V;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return usage(("unknown option " + A).c_str());
+    } else if (TaskPath.empty()) {
+      TaskPath = A;
+    } else {
+      return usage("more than one task file given");
+    }
+  }
+  if (TaskPath.empty())
+    return usage("solve needs a task file");
+
+  std::string Err;
+  std::optional<Problem> P = loadProblem(TaskPath, &Err);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  Engine E = LibraryName == "sql" ? Engine::sql(Opts) : Engine::standard(Opts);
+  if (!Quiet) {
+    std::printf("task %s: %zu input table(s), output %zux%zu, strategy %s\n",
+                P->Name.c_str(), P->Inputs.size(), P->Output.numRows(),
+                P->Output.numCols(),
+                std::string(strategyName(Opts.strategy())).c_str());
+  }
+
+  Solution S = E.solve(*P);
+  if (!S) {
+    std::fprintf(stderr, "no program found: %s after %.2fs (%llu hypotheses)\n",
+                 std::string(outcomeName(S.Result)).c_str(), S.Seconds,
+                 (unsigned long long)S.Stats.HypothesesExplored);
+    return 1;
+  }
+
+  if (!Quiet)
+    std::printf("solved in %.2fs (%llu hypotheses, %llu candidates)\n\n",
+                S.Seconds, (unsigned long long)S.Stats.HypothesesExplored,
+                (unsigned long long)S.Stats.CandidatesChecked);
+  if (Emit == "r" || Emit == "both")
+    std::printf("%s", emitRProgram(S.Program, P->inputNames()).c_str());
+  if (Emit == "both")
+    std::printf("\n");
+  if (Emit == "sexp" || Emit == "both")
+    std::printf("%s\n", printSexp(S.Program).c_str());
+  return 0;
+}
+
+int runBench(ArgReader &Args) {
+  std::string SuiteName = "morpheus", ConfigName = "spec2";
+  Strategy Strat = Strategy::Sequential;
+  int TimeoutMs = 5000;
+  unsigned Threads = 0;
+  size_t Limit = SIZE_MAX;
+
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--suite") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V != "morpheus" && V != "sql")
+        return usage("unknown suite (use morpheus or sql)");
+      SuiteName = V;
+    } else if (A == "--config") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V != "spec2" && V != "spec1" && V != "nodeduction")
+        return usage("unknown config (use spec2, spec1 or nodeduction)");
+      ConfigName = V;
+    } else if (A == "--strategy") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V == "sequential")
+        Strat = Strategy::Sequential;
+      else if (V == "portfolio")
+        Strat = Strategy::Portfolio;
+      else
+        return usage("unknown strategy (use sequential or portfolio)");
+    } else if (A == "--timeout") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> MS = parseIntArg(V);
+      if (!MS)
+        return usage("--timeout expects milliseconds");
+      TimeoutMs = *MS;
+    } else if (A == "--threads") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--threads expects a number");
+      Threads = unsigned(*N);
+    } else if (A == "--limit") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--limit expects a number");
+      Limit = size_t(*N);
+    } else {
+      return usage(("unknown option " + A).c_str());
+    }
+  }
+
+  std::chrono::milliseconds Timeout(TimeoutMs);
+  SynthesisConfig Cfg = ConfigName == "spec1" ? configSpec1(Timeout)
+                        : ConfigName == "nodeduction"
+                            ? configNoDeduction(Timeout)
+                            : configSpec2(Timeout);
+
+  std::vector<BenchmarkTask> Suite =
+      SuiteName == "sql" ? sqlSuite() : morpheusSuite();
+  if (Suite.size() > Limit)
+    Suite.resize(Limit);
+
+  std::printf("suite %s (%zu tasks), config %s, strategy %s, timeout %d ms\n",
+              SuiteName.c_str(), Suite.size(), ConfigName.c_str(),
+              std::string(strategyName(Strat)).c_str(), TimeoutMs);
+
+  std::vector<TaskResult> Results =
+      Strat == Strategy::Portfolio
+          ? runSuitePortfolio(Suite, Cfg, Threads, &std::cout)
+          : runSuite(Suite, Cfg, &std::cout);
+
+  std::printf("\nsolved %zu/%zu, median solved time %.2fs\n",
+              solvedCount(Results), Results.size(),
+              medianSolvedTime(Results));
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgReader Args;
+  for (int I = 1; I != argc; ++I)
+    Args.Args.push_back(argv[I]);
+
+  if (Args.done())
+    return usage();
+  std::string Cmd = Args.next();
+  if (Cmd == "solve")
+    return runSolve(Args);
+  if (Cmd == "bench")
+    return runBench(Args);
+  if (Cmd == "--help" || Cmd == "-h" || Cmd == "help")
+    return usage();
+  return usage(("unknown command '" + Cmd + "'").c_str());
+}
