@@ -14,8 +14,8 @@ using namespace morpheus;
 ListOfLists morpheus::encodeAsLists(const Table &T) {
   ListOfLists Out;
   Out.reserve(T.numRows());
-  for (const Row &R : T.rows())
-    Out.push_back(R);
+  for (size_t R = 0; R != T.numRows(); ++R)
+    Out.push_back(T.row(R));
   return Out;
 }
 

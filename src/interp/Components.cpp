@@ -3,6 +3,14 @@
 // Part of the Morpheus reproduction, MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// All kernels run against the columnar Table engine: a verb that keeps a
+// column's cells intact aliases the column handle (copy-on-write) instead
+// of copying cells, and verbs that reorder or drop rows gather each column
+// through an index vector. Row-key maps (spread, distinct) are built over
+// interned canonical tokens, so key probes are integer hashes.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Components.h"
 
@@ -13,6 +21,7 @@
 #include <cctype>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 using namespace morpheus;
 
@@ -55,6 +64,20 @@ rowToGroup(const Table &T, const std::vector<std::vector<size_t>> &Groups) {
     for (size_t R : G)
       Map[R] = &G;
   return Map;
+}
+
+/// Wraps freshly built cells in a shared column handle.
+ColumnPtr ownCol(ColumnData &&Cells) {
+  return std::make_shared<ColumnData>(std::move(Cells));
+}
+
+/// Gathers \p Src through \p Idx into a new column.
+ColumnPtr gatherCol(const ColumnData &Src, const std::vector<size_t> &Idx) {
+  ColumnData Out;
+  Out.reserve(Idx.size());
+  for (size_t I : Idx)
+    Out.push_back(Src[I]);
+  return ownCol(std::move(Out));
 }
 
 /// A table transformer defined by a lambda; all standard components use it.
@@ -119,20 +142,40 @@ std::optional<Table> applyGather(const Table &T, const std::string &KeyName,
   Cols.push_back({KeyName, CellType::Str});
   Cols.push_back({ValName, ValType});
 
-  std::vector<Row> Rows;
-  Rows.reserve(T.numRows() * GatherIdx.size());
-  for (const Row &R : T.rows()) {
-    for (size_t G : GatherIdx) {
-      Row Out;
-      Out.reserve(Cols.size());
-      for (size_t I : KeepIdx)
-        Out.push_back(R[I]);
-      Out.push_back(Value::str(T.schema()[G].Name));
-      Out.push_back(Mixed ? Value::str(R[G].toString()) : R[G]);
-      Rows.push_back(std::move(Out));
-    }
+  size_t G = GatherIdx.size(), NOut = T.numRows() * G;
+  std::vector<ColumnPtr> Out;
+  Out.reserve(Cols.size());
+  // Kept columns: each input cell repeats once per gathered column.
+  for (size_t I : KeepIdx) {
+    const ColumnData &Src = T.col(I);
+    ColumnData Cells;
+    Cells.reserve(NOut);
+    for (size_t R = 0; R != T.numRows(); ++R)
+      for (size_t K = 0; K != G; ++K)
+        Cells.push_back(Src[R]);
+    Out.push_back(ownCol(std::move(Cells)));
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  // Key column: the gathered column names cycle; intern each name once.
+  std::vector<Value> KeyVals;
+  KeyVals.reserve(G);
+  for (size_t I : GatherIdx)
+    KeyVals.push_back(Value::str(T.schema()[I].Name));
+  ColumnData KeyCells;
+  KeyCells.reserve(NOut);
+  for (size_t R = 0; R != T.numRows(); ++R)
+    for (size_t K = 0; K != G; ++K)
+      KeyCells.push_back(KeyVals[K]);
+  Out.push_back(ownCol(std::move(KeyCells)));
+  // Value column: the gathered cells interleave.
+  ColumnData ValCells;
+  ValCells.reserve(NOut);
+  for (size_t R = 0; R != T.numRows(); ++R)
+    for (size_t I : GatherIdx) {
+      const Value &V = T.at(R, I);
+      ValCells.push_back(Mixed ? Value::str(V.toString()) : V);
+    }
+  Out.push_back(ownCol(std::move(ValCells)));
+  return Table(Schema(std::move(Cols)), std::move(Out), NOut);
 }
 
 std::optional<Table> applySpread(const Table &T, const std::string &Key,
@@ -147,10 +190,17 @@ std::optional<Table> applySpread(const Table &T, const std::string &Key,
     if (I != *KeyIdx && I != *ValIdx)
       IdIdx.push_back(I);
 
-  // Distinct key values become columns, in sorted order (tidyr sorts).
+  // Distinct key values become columns, in sorted order (tidyr sorts). The
+  // canonical token's text is exactly the cell's printed form.
+  StringInterner &Pool = StringInterner::global();
   std::set<std::string> KeyNames;
-  for (const Row &R : T.rows())
-    KeyNames.insert(R[*KeyIdx].toString());
+  std::vector<uint32_t> KeyTokens;
+  KeyTokens.reserve(T.numRows());
+  for (const Value &V : T.col(*KeyIdx)) {
+    uint32_t Tok = V.canonicalToken();
+    KeyTokens.push_back(Tok);
+    KeyNames.insert(Pool.text(Tok));
+  }
   // New columns must not collide with surviving columns.
   for (const std::string &K : KeyNames)
     for (size_t I : IdIdx)
@@ -160,43 +210,41 @@ std::optional<Table> applySpread(const Table &T, const std::string &Key,
   std::vector<Column> Cols;
   for (size_t I : IdIdx)
     Cols.push_back(T.schema()[I]);
-  std::map<std::string, size_t> KeyToCol;
+  std::unordered_map<uint32_t, size_t> KeyToCol;
   for (const std::string &K : KeyNames) {
-    KeyToCol[K] = Cols.size();
+    KeyToCol[Pool.intern(K)] = Cols.size();
     Cols.push_back({K, T.schema()[*ValIdx].Type});
   }
 
   // Group rows by the id columns, in first-appearance order.
-  std::map<std::string, size_t> GroupOf;
-  std::vector<Row> Rows;
-  std::vector<std::vector<bool>> Filled;
-  for (const Row &R : T.rows()) {
-    std::string GroupKey;
-    for (size_t I : IdIdx) {
-      GroupKey += R[I].toString();
-      GroupKey += '\x1f';
-    }
-    auto [It, Inserted] = GroupOf.try_emplace(GroupKey, Rows.size());
-    if (Inserted) {
-      Row NewRow(Cols.size());
-      for (size_t J = 0; J != IdIdx.size(); ++J)
-        NewRow[J] = R[IdIdx[J]];
-      Rows.push_back(std::move(NewRow));
-      Filled.emplace_back(Cols.size(), false);
-    }
-    size_t RowI = It->second;
-    size_t ColI = KeyToCol[R[*KeyIdx].toString()];
-    if (Filled[RowI][ColI])
+  RowGrouping G = groupRowsBy(T, IdIdx);
+  size_t NOut = G.numGroups();
+  size_t NumValCols = Cols.size() - IdIdx.size();
+  std::vector<ColumnData> ValCols(NumValCols, ColumnData(NOut));
+  std::vector<std::vector<bool>> Filled(NumValCols,
+                                        std::vector<bool>(NOut, false));
+  const ColumnData &ValSrc = T.col(*ValIdx);
+  for (size_t R = 0; R != T.numRows(); ++R) {
+    size_t RowI = G.GroupOf[R];
+    size_t ColI = KeyToCol[KeyTokens[R]] - IdIdx.size();
+    if (Filled[ColI][RowI])
       return std::nullopt; // duplicate key within a group
-    Rows[RowI][ColI] = R[*ValIdx];
-    Filled[RowI][ColI] = true;
+    ValCols[ColI][RowI] = ValSrc[R];
+    Filled[ColI][RowI] = true;
   }
   // Every (group, key) combination must be present (no NA cells).
   for (const std::vector<bool> &F : Filled)
-    for (size_t C = IdIdx.size(); C != Cols.size(); ++C)
-      if (!F[C])
+    for (bool B : F)
+      if (!B)
         return std::nullopt;
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+
+  std::vector<ColumnPtr> Out;
+  Out.reserve(Cols.size());
+  for (size_t I : IdIdx)
+    Out.push_back(gatherCol(T.col(I), G.FirstRow));
+  for (ColumnData &C : ValCols)
+    Out.push_back(ownCol(std::move(C)));
+  return Table(Schema(std::move(Cols)), std::move(Out), NOut);
 }
 
 std::optional<Table> applySeparate(const Table &T, const std::string &Col,
@@ -217,12 +265,13 @@ std::optional<Table> applySeparate(const Table &T, const std::string &Col,
   // Split each cell at its first non-alphanumeric character (tidyr default
   // separator behaviour); every cell must split into exactly two pieces.
   auto Split = [](const std::string &S)
-      -> std::optional<std::pair<std::string, std::string>> {
+      -> std::optional<std::pair<std::string_view, std::string_view>> {
     for (size_t I = 0; I != S.size(); ++I) {
       if (!std::isalnum(static_cast<unsigned char>(S[I])) && S[I] != '.') {
         if (I == 0 || I + 1 == S.size())
           return std::nullopt;
-        return std::make_pair(S.substr(0, I), S.substr(I + 1));
+        std::string_view View(S);
+        return std::make_pair(View.substr(0, I), View.substr(I + 1));
       }
     }
     return std::nullopt;
@@ -237,25 +286,27 @@ std::optional<Table> applySeparate(const Table &T, const std::string &Col,
       Cols.push_back(T.schema()[I]);
     }
   }
-  std::vector<Row> Rows;
-  Rows.reserve(T.numRows());
-  for (const Row &R : T.rows()) {
-    Row Out;
-    Out.reserve(Cols.size());
-    for (size_t I = 0; I != T.numCols(); ++I) {
-      if (I == *Idx) {
-        auto Pieces = Split(R[I].strVal());
-        if (!Pieces)
-          return std::nullopt;
-        Out.push_back(Value::str(Pieces->first));
-        Out.push_back(Value::str(Pieces->second));
-      } else {
-        Out.push_back(R[I]);
-      }
-    }
-    Rows.push_back(std::move(Out));
+  ColumnData First, Second;
+  First.reserve(T.numRows());
+  Second.reserve(T.numRows());
+  for (const Value &V : T.col(*Idx)) {
+    auto Pieces = Split(V.strVal());
+    if (!Pieces)
+      return std::nullopt;
+    First.push_back(Value::str(Pieces->first));
+    Second.push_back(Value::str(Pieces->second));
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  std::vector<ColumnPtr> Out;
+  Out.reserve(Cols.size());
+  for (size_t I = 0; I != T.numCols(); ++I) {
+    if (I == *Idx) {
+      Out.push_back(ownCol(std::move(First)));
+      Out.push_back(ownCol(std::move(Second)));
+    } else {
+      Out.push_back(T.colHandle(I)); // untouched columns alias
+    }
+  }
+  return Table(Schema(std::move(Cols)), std::move(Out), T.numRows());
 }
 
 std::optional<Table> applyUnite(const Table &T, const std::string &NewName,
@@ -269,27 +320,23 @@ std::optional<Table> applyUnite(const Table &T, const std::string &NewName,
       return std::nullopt;
 
   std::vector<Column> Cols;
+  std::vector<ColumnPtr> Out;
+  ColumnData United;
+  United.reserve(T.numRows());
+  const ColumnData &A = T.col(*I1);
+  const ColumnData &B = T.col(*I2);
+  for (size_t R = 0; R != T.numRows(); ++R)
+    United.push_back(Value::str(A[R].toString() + "_" + B[R].toString()));
   for (size_t I = 0; I != T.numCols(); ++I) {
-    if (I == *I1)
+    if (I == *I1) {
       Cols.push_back({NewName, CellType::Str});
-    else if (I != *I2)
+      Out.push_back(ownCol(std::move(United)));
+    } else if (I != *I2) {
       Cols.push_back(T.schema()[I]);
-  }
-  std::vector<Row> Rows;
-  Rows.reserve(T.numRows());
-  for (const Row &R : T.rows()) {
-    Row Out;
-    Out.reserve(Cols.size());
-    for (size_t I = 0; I != T.numCols(); ++I) {
-      if (I == *I1)
-        Out.push_back(
-            Value::str(R[*I1].toString() + "_" + R[*I2].toString()));
-      else if (I != *I2)
-        Out.push_back(R[I]);
+      Out.push_back(T.colHandle(I));
     }
-    Rows.push_back(std::move(Out));
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  return Table(Schema(std::move(Cols)), std::move(Out), T.numRows());
 }
 
 //===----------------------------------------------------------------------===//
@@ -300,23 +347,15 @@ std::optional<Table> applySelect(const Table &T,
                                  const std::vector<std::string> &Cols) {
   if (!allDistinctColumns(T, Cols))
     return std::nullopt;
+  // Pure column-pointer shuffle: no cells move.
   std::vector<Column> NewCols;
-  std::vector<size_t> Idx;
+  std::vector<ColumnPtr> Out;
   for (const std::string &C : Cols) {
     size_t I = *T.schema().indexOf(C);
     NewCols.push_back(T.schema()[I]);
-    Idx.push_back(I);
+    Out.push_back(T.colHandle(I));
   }
-  std::vector<Row> Rows;
-  Rows.reserve(T.numRows());
-  for (const Row &R : T.rows()) {
-    Row Out;
-    Out.reserve(Idx.size());
-    for (size_t I : Idx)
-      Out.push_back(R[I]);
-    Rows.push_back(std::move(Out));
-  }
-  Table Result(Schema(std::move(NewCols)), std::move(Rows));
+  Table Result(Schema(std::move(NewCols)), std::move(Out), T.numRows());
   // Grouping columns that survive the projection stay grouping columns.
   std::vector<std::string> Groups;
   for (const std::string &G : T.groupCols())
@@ -331,16 +370,20 @@ std::optional<Table> applyFilter(const Table &T, const TermPtr &Pred) {
     return std::nullopt;
   auto Groups = T.groupedRowIndices();
   auto GroupMap = rowToGroup(T, Groups);
-  std::vector<Row> Rows;
+  std::vector<size_t> Keep;
   for (size_t R = 0; R != T.numRows(); ++R) {
-    EvalContext Ctx{&T, &T.rows()[R], GroupMap[R]};
+    EvalContext Ctx{&T, R, GroupMap[R]};
     std::optional<Value> V = evalTerm(*Pred, Ctx);
     if (!V)
       return std::nullopt;
     if (isTruthy(*V))
-      Rows.push_back(T.rows()[R]);
+      Keep.push_back(R);
   }
-  Table Result(T.schema(), std::move(Rows));
+  std::vector<ColumnPtr> Out;
+  Out.reserve(T.numCols());
+  for (size_t C = 0; C != T.numCols(); ++C)
+    Out.push_back(gatherCol(T.col(C), Keep));
+  Table Result(T.schema(), std::move(Out), Keep.size());
   Result.setGroupCols(T.groupCols());
   return Result;
 }
@@ -351,7 +394,7 @@ std::optional<Table> applyGroupBy(const Table &T,
     return std::nullopt;
   if (T.isGrouped())
     return std::nullopt; // regrouping a grouped frame is never needed
-  Table Result = T;
+  Table Result = T; // aliases every column
   Result.setGroupCols(Cols);
   return Result;
 }
@@ -376,22 +419,25 @@ std::optional<Table> applySummarise(const Table &T, const std::string &NewName,
     Cols.push_back(T.schema()[I]);
   Cols.push_back({NewName, CellType::Num});
 
-  std::vector<Row> Rows;
+  std::vector<size_t> GroupFirst;
+  ColumnData AggCells;
   for (const std::vector<size_t> &G : T.groupedRowIndices()) {
     if (G.empty())
       continue;
-    EvalContext Ctx{&T, &T.rows()[G.front()], &G};
+    EvalContext Ctx{&T, G.front(), &G};
     std::optional<Value> V = evalTerm(*Agg, Ctx);
     if (!V)
       return std::nullopt;
-    Row Out;
-    Out.reserve(Cols.size());
-    for (size_t I : KeyIdx)
-      Out.push_back(T.rows()[G.front()][I]);
-    Out.push_back(std::move(*V));
-    Rows.push_back(std::move(Out));
+    GroupFirst.push_back(G.front());
+    AggCells.push_back(std::move(*V));
   }
-  Table Result(Schema(std::move(Cols)), std::move(Rows));
+  std::vector<ColumnPtr> Out;
+  Out.reserve(Cols.size());
+  for (size_t I : KeyIdx)
+    Out.push_back(gatherCol(T.col(I), GroupFirst));
+  size_t NOut = AggCells.size();
+  Out.push_back(ownCol(std::move(AggCells)));
+  Table Result(Schema(std::move(Cols)), std::move(Out), NOut);
   // dplyr drops the last grouping level after summarise.
   std::vector<std::string> Remaining = T.groupCols();
   if (!Remaining.empty())
@@ -406,17 +452,24 @@ std::optional<Table> applyMutate(const Table &T, const std::string &NewName,
     return std::nullopt;
   auto Groups = T.groupedRowIndices();
   auto GroupMap = rowToGroup(T, Groups);
-  Schema NewSchema = T.schema();
-  NewSchema.append({NewName, CellType::Num});
-  std::vector<Row> Rows = T.rows();
-  for (size_t R = 0; R != Rows.size(); ++R) {
-    EvalContext Ctx{&T, &T.rows()[R], GroupMap[R]};
+  ColumnData NewCells;
+  NewCells.reserve(T.numRows());
+  for (size_t R = 0; R != T.numRows(); ++R) {
+    EvalContext Ctx{&T, R, GroupMap[R]};
     std::optional<Value> V = evalTerm(*Expr, Ctx);
     if (!V || !V->isNum())
       return std::nullopt;
-    Rows[R].push_back(std::move(*V));
+    NewCells.push_back(std::move(*V));
   }
-  Table Result(std::move(NewSchema), std::move(Rows));
+  // Existing columns alias; only the new column is fresh storage.
+  Schema NewSchema = T.schema();
+  NewSchema.append({NewName, CellType::Num});
+  std::vector<ColumnPtr> Out;
+  Out.reserve(T.numCols() + 1);
+  for (size_t C = 0; C != T.numCols(); ++C)
+    Out.push_back(T.colHandle(C));
+  Out.push_back(ownCol(std::move(NewCells)));
+  Table Result(std::move(NewSchema), std::move(Out), T.numRows());
   Result.setGroupCols(T.groupCols());
   return Result;
 }
@@ -449,22 +502,30 @@ std::optional<Table> applyInnerJoin(const Table &A, const Table &B) {
   for (size_t J : BOnly)
     Cols.push_back(B.schema()[J]);
 
-  std::vector<Row> Rows;
-  for (const Row &RA : A.rows()) {
-    for (const Row &RB : B.rows()) {
+  // Matching row pairs first (interned equality is an integer compare),
+  // then one gather per output column.
+  std::vector<size_t> AIdx, BIdx;
+  for (size_t RA = 0; RA != A.numRows(); ++RA) {
+    for (size_t RB = 0; RB != B.numRows(); ++RB) {
       bool Match = true;
       for (auto [I, J] : Shared)
-        if (!(RA[I] == RB[J]))
+        if (!(A.at(RA, I) == B.at(RB, J))) {
           Match = false;
-      if (!Match)
-        continue;
-      Row Out = RA;
-      for (size_t J : BOnly)
-        Out.push_back(RB[J]);
-      Rows.push_back(std::move(Out));
+          break;
+        }
+      if (Match) {
+        AIdx.push_back(RA);
+        BIdx.push_back(RB);
+      }
     }
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  std::vector<ColumnPtr> Out;
+  Out.reserve(Cols.size());
+  for (size_t I = 0; I != A.numCols(); ++I)
+    Out.push_back(gatherCol(A.col(I), AIdx));
+  for (size_t J : BOnly)
+    Out.push_back(gatherCol(B.col(J), BIdx));
+  return Table(Schema(std::move(Cols)), std::move(Out), AIdx.size());
 }
 
 std::optional<Table> applyArrange(const Table &T,
@@ -474,35 +535,43 @@ std::optional<Table> applyArrange(const Table &T,
   std::vector<size_t> Idx;
   for (const std::string &C : Cols)
     Idx.push_back(*T.schema().indexOf(C));
-  Table Result = T;
-  std::stable_sort(Result.rows().begin(), Result.rows().end(),
-                   [&](const Row &A, const Row &B) {
-                     for (size_t I : Idx) {
-                       if (A[I] < B[I])
-                         return true;
-                       if (B[I] < A[I])
-                         return false;
-                     }
-                     return false;
-                   });
+  std::vector<size_t> Perm(T.numRows());
+  for (size_t I = 0; I != Perm.size(); ++I)
+    Perm[I] = I;
+  std::stable_sort(Perm.begin(), Perm.end(), [&](size_t A, size_t B) {
+    for (size_t I : Idx) {
+      const Value &VA = T.at(A, I);
+      const Value &VB = T.at(B, I);
+      if (VA < VB)
+        return true;
+      if (VB < VA)
+        return false;
+    }
+    return false;
+  });
+  std::vector<ColumnPtr> Out;
+  Out.reserve(T.numCols());
+  for (size_t C = 0; C != T.numCols(); ++C)
+    Out.push_back(gatherCol(T.col(C), Perm));
+  Table Result(T.schema(), std::move(Out), T.numRows());
+  Result.setGroupCols(T.groupCols());
   return Result;
 }
 
 std::optional<Table> applyDistinct(const Table &T) {
-  std::vector<Row> Rows;
-  std::set<std::string> Seen;
-  for (const Row &R : T.rows()) {
-    std::string Key;
-    for (const Value &V : R) {
-      Key += V.toString();
-      Key += '\x1f';
-    }
-    if (Seen.insert(Key).second)
-      Rows.push_back(R);
-  }
-  if (Rows.size() == T.numRows())
+  // Row keys over canonical tokens: the same printed-form identity the
+  // row-major engine keyed on (where num 3 and str "3" coincide).
+  std::vector<size_t> AllCols(T.numCols());
+  for (size_t C = 0; C != T.numCols(); ++C)
+    AllCols[C] = C;
+  RowGrouping G = groupRowsBy(T, AllCols);
+  if (G.numGroups() == T.numRows())
     return std::nullopt; // a no-op distinct is never needed
-  return Table(T.schema(), std::move(Rows));
+  std::vector<ColumnPtr> Out;
+  Out.reserve(T.numCols());
+  for (size_t C = 0; C != T.numCols(); ++C)
+    Out.push_back(gatherCol(T.col(C), G.FirstRow));
+  return Table(T.schema(), std::move(Out), G.numGroups());
 }
 
 } // namespace

@@ -144,20 +144,23 @@ std::optional<Table> morpheus::parseCsv(std::string_view Text,
   for (size_t C = 0; C != NumCols; ++C)
     Cols.push_back({Header[C].Text, IsNum[C] ? CellType::Num : CellType::Str});
 
-  std::vector<Row> Rows;
-  Rows.reserve(Records.size() - 1);
-  for (size_t R = 1; R != Records.size(); ++R) {
-    Row Out;
-    Out.reserve(NumCols);
-    for (size_t C = 0; C != NumCols; ++C) {
+  // Build columns directly; string cells intern into the global pool here,
+  // so every later comparison on them is an integer op.
+  std::vector<ColumnPtr> Data;
+  Data.reserve(NumCols);
+  size_t NumRows = Records.size() - 1;
+  for (size_t C = 0; C != NumCols; ++C) {
+    ColumnData Cells;
+    Cells.reserve(NumRows);
+    for (size_t R = 1; R != Records.size(); ++R) {
       if (IsNum[C])
-        Out.push_back(Value::number(*parseNumber(Records[R][C].Text)));
+        Cells.push_back(Value::number(*parseNumber(Records[R][C].Text)));
       else
-        Out.push_back(Value::str(Records[R][C].Text));
+        Cells.push_back(Value::str(Records[R][C].Text));
     }
-    Rows.push_back(std::move(Out));
+    Data.push_back(std::make_shared<ColumnData>(std::move(Cells)));
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  return Table(Schema(std::move(Cols)), std::move(Data), NumRows);
 }
 
 std::string morpheus::writeCsv(const Table &T) {
@@ -182,14 +185,15 @@ std::string morpheus::writeCsv(const Table &T) {
     WriteField(T.schema()[C].Name, false);
   }
   OS << '\n';
-  for (const Row &R : T.rows()) {
-    for (size_t C = 0; C != R.size(); ++C) {
+  for (size_t R = 0; R != T.numRows(); ++R) {
+    for (size_t C = 0; C != T.numCols(); ++C) {
       if (C)
         OS << ',';
       // String cells are always quoted so the reader's type inference
       // cannot mistake a numeric-looking string ("42", "007") for a num
       // column on the way back in.
-      WriteField(R[C].toString(), R[C].isStr());
+      const Value &V = T.at(R, C);
+      WriteField(V.toString(), V.isStr());
     }
     OS << '\n';
   }
@@ -235,23 +239,23 @@ std::optional<Table> morpheus::tableFromJson(const JsonValue &V,
     Cols.push_back({Name->Str, CT});
   }
 
-  std::vector<Row> Rows;
-  Rows.reserve(RowsV->Arr.size());
-  for (size_t R = 0; R != RowsV->Arr.size(); ++R) {
+  size_t NumRows = RowsV->Arr.size();
+  std::vector<ColumnData> Data(Cols.size());
+  for (ColumnData &C : Data)
+    C.reserve(NumRows);
+  for (size_t R = 0; R != NumRows; ++R) {
     const JsonValue &RV = RowsV->Arr[R];
     if (!RV.isArray() || RV.Arr.size() != Cols.size()) {
       setErr(Err, "row " + std::to_string(R) + " must be an array of " +
                       std::to_string(Cols.size()) + " cells");
       return std::nullopt;
     }
-    Row Out;
-    Out.reserve(Cols.size());
     for (size_t C = 0; C != RV.Arr.size(); ++C) {
       const JsonValue &Cell = RV.Arr[C];
       if (Cols[C].Type == CellType::Num && Cell.isNumber()) {
-        Out.push_back(Value::number(Cell.Num));
+        Data[C].push_back(Value::number(Cell.Num));
       } else if (Cols[C].Type == CellType::Str && Cell.isString()) {
-        Out.push_back(Value::str(Cell.Str));
+        Data[C].push_back(Value::str(Cell.Str)); // interns on parse
       } else {
         setErr(Err, "cell [" + std::to_string(R) + "][" + std::to_string(C) +
                         "] does not match column type " +
@@ -259,9 +263,12 @@ std::optional<Table> morpheus::tableFromJson(const JsonValue &V,
         return std::nullopt;
       }
     }
-    Rows.push_back(std::move(Out));
   }
-  return Table(Schema(std::move(Cols)), std::move(Rows));
+  std::vector<ColumnPtr> Shared;
+  Shared.reserve(Data.size());
+  for (ColumnData &C : Data)
+    Shared.push_back(std::make_shared<ColumnData>(std::move(C)));
+  return Table(Schema(std::move(Cols)), std::move(Shared), NumRows);
 }
 
 JsonValue morpheus::tableToJson(const Table &T) {
@@ -276,9 +283,10 @@ JsonValue morpheus::tableToJson(const Table &T) {
   Out.set("columns", std::move(Cols));
 
   JsonValue Rows = JsonValue::array();
-  for (const Row &R : T.rows()) {
+  for (size_t R = 0; R != T.numRows(); ++R) {
     JsonValue RV = JsonValue::array();
-    for (const Value &V : R) {
+    for (size_t C = 0; C != T.numCols(); ++C) {
+      const Value &V = T.at(R, C);
       if (V.isNum())
         RV.Arr.push_back(JsonValue::number(V.num()));
       else

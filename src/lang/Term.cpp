@@ -138,12 +138,12 @@ std::optional<Value> morpheus::evalTerm(const Term &T,
   case Term::Kind::ColsLit:
     return std::nullopt; // not a scalar; consumed structurally by components
   case Term::Kind::ColRef: {
-    if (!Ctx.T || !Ctx.CurrentRow)
+    if (!Ctx.T || Ctx.RowIdx >= Ctx.T->numRows())
       return std::nullopt;
     std::optional<size_t> Idx = Ctx.T->schema().indexOf(T.Name);
-    if (!Idx || *Idx >= Ctx.CurrentRow->size())
+    if (!Idx)
       return std::nullopt;
-    return (*Ctx.CurrentRow)[*Idx];
+    return Ctx.T->at(Ctx.RowIdx, *Idx);
   }
   case Term::Kind::App: {
     if (T.Fn->isAggregate()) {
@@ -158,9 +158,10 @@ std::optional<Value> morpheus::evalTerm(const Term &T,
             Ctx.T->schema().indexOf(T.Args[0]->Name);
         if (!Idx)
           return std::nullopt;
+        const ColumnData &Cells = Ctx.T->col(*Idx);
         Column.reserve(Ctx.GroupRows->size());
         for (size_t R : *Ctx.GroupRows)
-          Column.push_back(Ctx.T->rows()[R][*Idx]);
+          Column.push_back(Cells[R]);
       } else {
         // n(): counts rows; represent the group size as a column of the
         // right length.

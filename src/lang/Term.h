@@ -63,13 +63,13 @@ struct Term {
 
 /// Evaluation context for first-order terms.
 ///
-/// \c CurrentRow binds the implicit row variable of predicates and mutate
+/// \c RowIdx binds the implicit row variable of predicates and mutate
 /// expressions; \c GroupRows lists the row indices of the group the current
 /// row belongs to (aggregates reduce over it). For whole-table contexts
 /// GroupRows spans all rows.
 struct EvalContext {
   const Table *T = nullptr;
-  const Row *CurrentRow = nullptr;
+  size_t RowIdx = 0;
   const std::vector<size_t> *GroupRows = nullptr;
 };
 

@@ -56,15 +56,18 @@ struct DeductionEngine::Impl {
   /// subtree). KeepAlive pins the keys so pointers cannot be recycled.
   std::unordered_map<const Hypothesis *, std::optional<Table>> EvalCache;
   std::vector<HypPtr> KeepAlive;
-  /// α results per evaluated node; valueSet construction dominates the
-  /// signature path without this.
-  std::unordered_map<const Hypothesis *, AttrValues> AbsCache;
+  /// α results keyed on the table's 64-bit fingerprint: distinct nodes that
+  /// evaluate to the same table (a very common event during sketch
+  /// completion) share one α computation, and entries survive the
+  /// per-sketch eval-cache clear because they carry no node identity.
+  std::unordered_map<uint64_t, AttrValues> AbsCache;
 
-  const AttrValues &absCached(const HypPtr &H, const Table &T) {
-    auto It = AbsCache.find(H.get());
+  const AttrValues &absCached(const Table &T) {
+    uint64_t Fp = T.fingerprint();
+    auto It = AbsCache.find(Fp);
     if (It != AbsCache.end())
       return It->second;
-    return AbsCache.emplace(H.get(), abstractTable(T, Base)).first->second;
+    return AbsCache.emplace(Fp, abstractTable(T, Base)).first->second;
   }
 
   /// Memoized DEDUCE verdicts. The SMT query is fully determined by the
@@ -106,7 +109,7 @@ struct DeductionEngine::Impl {
         if (Complete && !T)
           return false;
         if (T) {
-          const AttrValues &A = absCached(H, *T);
+          const AttrValues &A = absCached(*T);
           char Buf[64];
           std::snprintf(Buf, sizeof(Buf), "@%lld.%lld.%lld.%lld",
                         (long long)A.Row, (long long)A.Col,
@@ -346,7 +349,7 @@ struct DeductionEngine::Impl {
           return {N, std::nullopt};
         }
         if (T) {
-          const AttrValues &A = absCached(H, *T);
+          const AttrValues &A = absCached(*T);
           bindConcrete(S, N, A);
           Concrete = A;
           // Concrete fast path: all table children concrete too -> check
@@ -391,7 +394,6 @@ const std::optional<Table> &DeductionEngine::evaluateCached(const HypPtr &H) {
 
 void DeductionEngine::clearEvalCache() {
   P->EvalCache.clear();
-  P->AbsCache.clear();
   P->KeepAlive.clear();
 }
 

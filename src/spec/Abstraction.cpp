@@ -6,14 +6,12 @@
 
 #include "spec/Abstraction.h"
 
-#include "table/TableUtils.h"
-
 using namespace morpheus;
 
 ExampleBase ExampleBase::fromInputs(const std::vector<Table> &Inputs) {
   ExampleBase Base;
-  Base.Headers = headerSet(Inputs);
-  Base.Values = valueSet(Inputs);
+  Base.Headers = headerTokens(Inputs);
+  Base.Values = valueTokens(Inputs);
   return Base;
 }
 
@@ -28,7 +26,7 @@ AttrValues morpheus::abstractTable(const Table &T, const ExampleBase &Base) {
   // appear nowhere in the input), but only this one makes the spread spec
   // `Tout.newCols <= Tin.newVals` satisfiable for spread's core use:
   // spreading a key column whose values come from input *cells*.
-  A.NewCols = int64_t(countNotIn(headerSet(T), Base.Values));
-  A.NewVals = int64_t(countNotIn(valueSet(T), Base.Values));
+  A.NewCols = int64_t(countNotIn(headerTokens(T), Base.Values));
+  A.NewVals = int64_t(countNotIn(valueTokens(T), Base.Values));
   return A;
 }

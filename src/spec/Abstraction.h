@@ -14,16 +14,17 @@
 /// paper sets the output's group to a fresh positive variable even though
 /// the output is concrete); input tables get group = 1.
 ///
+/// The base sets are sets of interned canonical tokens (TableUtils), so
+/// membership tests inside α are integer hash probes, not string compares.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MORPHEUS_SPEC_ABSTRACTION_H
 #define MORPHEUS_SPEC_ABSTRACTION_H
 
 #include "lang/Spec.h"
-#include "table/Table.h"
+#include "table/TableUtils.h"
 
-#include <set>
-#include <string>
 #include <vector>
 
 namespace morpheus {
@@ -31,8 +32,8 @@ namespace morpheus {
 /// The base sets Sh (headers) and Sc (headers + values) of the input
 /// example tables, fixed for the duration of one synthesis problem.
 struct ExampleBase {
-  std::set<std::string> Headers;
-  std::set<std::string> Values;
+  TokenSet Headers;
+  TokenSet Values;
 
   static ExampleBase fromInputs(const std::vector<Table> &Inputs);
 };

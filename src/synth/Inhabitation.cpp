@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 using namespace morpheus;
 
@@ -28,15 +29,16 @@ std::vector<Column> combinedColumns(const std::vector<Table> &Tables) {
 }
 
 /// Distinct cells of the named column across all tables that have it.
+/// Dedupe is by (canonical token, type), like distinctColumnValues.
 std::vector<Value> combinedColumnValues(const std::vector<Table> &Tables,
                                         const std::string &Name) {
   std::vector<Value> Out;
-  std::set<std::string> Seen;
+  std::unordered_set<uint64_t> Seen;
   for (const Table &T : Tables) {
     if (!T.schema().contains(Name))
       continue;
     for (const Value &V : distinctColumnValues(T, Name))
-      if (Seen.insert(V.toString() + (V.isStr() ? "#s" : "#n")).second)
+      if (Seen.insert(V.typedToken()).second)
         Out.push_back(V);
   }
   return Out;

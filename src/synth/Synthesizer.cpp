@@ -84,9 +84,13 @@ public:
   SearchContext(const ComponentLibrary &Lib, const SynthesisConfig &Cfg,
                 const std::vector<Table> &Inputs, const Table &Output)
       : Lib(Lib), Cfg(Cfg), Inputs(Inputs), Output(Output),
-        SortedOutput(Output.sortedByAllColumns()), Engine(Inputs, Output),
-        Inhab(Lib, Cfg.Inhab),
-        Deadline(std::chrono::steady_clock::now() + Cfg.Timeout) {}
+        Engine(Inputs, Output), Inhab(Lib, Cfg.Inhab),
+        Deadline(std::chrono::steady_clock::now() + Cfg.Timeout) {
+    // Warm the example's comparison caches once per search: every candidate
+    // check reuses the output's fingerprint and canonical row permutation.
+    OutputFingerprint = Output.fingerprint();
+    Output.sortedPermutation();
+  }
 
   SynthesisResult run();
 
@@ -133,13 +137,16 @@ private:
     const std::optional<Table> &T = Engine.evaluateCached(Candidate);
     if (!T)
       return false;
-    // Cheap rejections first; candidate checks run millions of times.
+    // Cheap rejections first; candidate checks run millions of times. The
+    // O(1) fingerprint gate rejects almost every mismatch before any sort
+    // or cell compare (equalsUnordered re-checks it, cached).
     if (T->numRows() != Output.numRows() ||
         !(T->schema() == Output.schema()))
       return false;
     bool Equal = Cfg.OrderedCompare
                      ? T->equalsOrdered(Output)
-                     : T->sortedByAllColumns().equalsOrdered(SortedOutput);
+                     : T->fingerprint() == OutputFingerprint &&
+                           T->equalsUnordered(Output);
     if (!Equal)
       return false;
     Solution = Candidate;
@@ -162,7 +169,7 @@ private:
   const SynthesisConfig &Cfg;
   const std::vector<Table> &Inputs;
   const Table &Output;
-  Table SortedOutput;
+  uint64_t OutputFingerprint = 0;
   DeductionEngine Engine;
   Inhabitation Inhab;
   std::chrono::steady_clock::time_point Deadline;

@@ -6,44 +6,49 @@
 
 #include "table/TableUtils.h"
 
-#include <unordered_set>
+#include <unordered_map>
 
 using namespace morpheus;
 
-std::set<std::string> morpheus::headerSet(const Table &T) {
-  std::set<std::string> Out;
+TokenSet morpheus::headerTokens(const Table &T) {
+  TokenSet Out;
+  Out.reserve(T.numCols());
   for (const Column &C : T.schema().columns())
-    Out.insert(C.Name);
+    Out.insert(StringInterner::global().intern(C.Name));
   return Out;
 }
 
-std::set<std::string> morpheus::valueSet(const Table &T) {
-  std::set<std::string> Out = headerSet(T);
-  for (const Row &R : T.rows())
-    for (const Value &V : R)
-      Out.insert(V.toString());
+TokenSet morpheus::valueTokens(const Table &T) {
+  TokenSet Out = headerTokens(T);
+  Out.reserve(Out.size() + T.numRows() * T.numCols());
+  for (size_t C = 0; C != T.numCols(); ++C)
+    for (const Value &V : T.col(C))
+      Out.insert(V.canonicalToken());
   return Out;
 }
 
-std::set<std::string> morpheus::headerSet(const std::vector<Table> &Tables) {
-  std::set<std::string> Out;
-  for (const Table &T : Tables)
-    Out.merge(headerSet(T));
+TokenSet morpheus::headerTokens(const std::vector<Table> &Tables) {
+  TokenSet Out;
+  for (const Table &T : Tables) {
+    TokenSet S = headerTokens(T);
+    Out.insert(S.begin(), S.end());
+  }
   return Out;
 }
 
-std::set<std::string> morpheus::valueSet(const std::vector<Table> &Tables) {
-  std::set<std::string> Out;
-  for (const Table &T : Tables)
-    Out.merge(valueSet(T));
+TokenSet morpheus::valueTokens(const std::vector<Table> &Tables) {
+  TokenSet Out;
+  for (const Table &T : Tables) {
+    TokenSet S = valueTokens(T);
+    Out.insert(S.begin(), S.end());
+  }
   return Out;
 }
 
-size_t morpheus::countNotIn(const std::set<std::string> &A,
-                            const std::set<std::string> &B) {
+size_t morpheus::countNotIn(const TokenSet &A, const TokenSet &B) {
   size_t N = 0;
-  for (const std::string &S : A)
-    if (!B.count(S))
+  for (uint32_t Tok : A)
+    if (!B.count(Tok))
       ++N;
   return N;
 }
@@ -51,13 +56,63 @@ size_t morpheus::countNotIn(const std::set<std::string> &A,
 std::vector<Value> morpheus::distinctColumnValues(const Table &T,
                                                   std::string_view Name) {
   std::vector<Value> Out;
-  std::unordered_set<std::string> Seen;
+  std::unordered_set<uint64_t> Seen;
   std::optional<size_t> Idx = T.schema().indexOf(Name);
   assert(Idx && "no such column");
-  for (const Row &R : T.rows()) {
-    const Value &V = R[*Idx];
-    if (Seen.insert(V.toString() + (V.isStr() ? "#s" : "#n")).second)
+  for (const Value &V : T.col(*Idx))
+    if (Seen.insert(V.typedToken()).second)
       Out.push_back(V);
-  }
   return Out;
+}
+
+std::vector<std::vector<size_t>> RowGrouping::memberLists() const {
+  std::vector<std::vector<size_t>> Groups(FirstRow.size());
+  for (size_t R = 0; R != GroupOf.size(); ++R)
+    Groups[GroupOf[R]].push_back(R);
+  return Groups;
+}
+
+RowGrouping morpheus::groupRowsBy(const Table &T,
+                                  const std::vector<size_t> &KeyIdx) {
+  // Token each key column once (columnar scans keep the interner lookups
+  // sequential), then bucket rows by a hash of the typed-token tuple.
+  std::vector<std::vector<uint64_t>> Keys(KeyIdx.size());
+  for (size_t K = 0; K != KeyIdx.size(); ++K) {
+    Keys[K].reserve(T.numRows());
+    for (const Value &V : T.col(KeyIdx[K]))
+      Keys[K].push_back(V.typedToken());
+  }
+  auto Hash = [&](size_t R) {
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (size_t K = 0; K != Keys.size(); ++K) {
+      H ^= Keys[K][R];
+      H *= 0x100000001b3ULL;
+    }
+    return H;
+  };
+  auto Equal = [&](size_t A, size_t B) {
+    for (size_t K = 0; K != Keys.size(); ++K)
+      if (Keys[K][A] != Keys[K][B])
+        return false;
+    return true;
+  };
+  RowGrouping G;
+  G.GroupOf.resize(T.numRows());
+  std::unordered_map<uint64_t, std::vector<size_t>> Buckets;
+  for (size_t R = 0; R != T.numRows(); ++R) {
+    std::vector<size_t> &Bucket = Buckets[Hash(R)];
+    size_t Id = SIZE_MAX;
+    for (size_t Candidate : Bucket)
+      if (Equal(G.FirstRow[Candidate], R)) {
+        Id = Candidate;
+        break;
+      }
+    if (Id == SIZE_MAX) {
+      Id = G.FirstRow.size();
+      G.FirstRow.push_back(R);
+      Bucket.push_back(Id);
+    }
+    G.GroupOf[R] = uint32_t(Id);
+  }
+  return G;
 }

@@ -9,6 +9,11 @@
 /// newCols/newVals attributes, Appendix A Example 13) and by table-driven
 /// type inhabitation (the Const and Cols rules of Figure 13).
 ///
+/// Sets are over *canonical tokens* — interned ids of printed forms (see
+/// Value::canonicalToken) — so header names and cell values live in one
+/// integer universe: the paper's Sc deliberately mixes headers and cells,
+/// and a numeric cell 7 must coincide with a header or string cell "7".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MORPHEUS_TABLE_TABLEUTILS_H
@@ -16,31 +21,47 @@
 
 #include "table/Table.h"
 
-#include <set>
-#include <string>
+#include <unordered_set>
 
 namespace morpheus {
 
-/// The set of column names of \p T (Sh in Example 13).
-std::set<std::string> headerSet(const Table &T);
+/// A set of canonical tokens (interned printed forms).
+using TokenSet = std::unordered_set<uint32_t>;
 
-/// The set of printed cell values of \p T plus its column names (Sc in
+/// The set of column-name tokens of \p T (Sh in Example 13).
+TokenSet headerTokens(const Table &T);
+
+/// The set of cell-value tokens of \p T plus its column-name tokens (Sc in
 /// Example 13; "new values includes both new column names as well as cell
 /// values").
-std::set<std::string> valueSet(const Table &T);
+TokenSet valueTokens(const Table &T);
 
-/// Union of headerSet over several tables.
-std::set<std::string> headerSet(const std::vector<Table> &Tables);
+/// Union of headerTokens over several tables.
+TokenSet headerTokens(const std::vector<Table> &Tables);
 
-/// Union of valueSet over several tables.
-std::set<std::string> valueSet(const std::vector<Table> &Tables);
+/// Union of valueTokens over several tables.
+TokenSet valueTokens(const std::vector<Table> &Tables);
 
 /// Number of elements of \p A not present in \p B (|A - B|).
-size_t countNotIn(const std::set<std::string> &A,
-                  const std::set<std::string> &B);
+size_t countNotIn(const TokenSet &A, const TokenSet &B);
 
 /// Distinct values of column \p Name of \p T, in first-appearance order.
+/// Distinctness is by printed form and type, like the engine's group keys.
 std::vector<Value> distinctColumnValues(const Table &T, std::string_view Name);
+
+/// First-appearance-ordered partition of \p T's rows by the key columns
+/// \p KeyIdx, keyed on typed tokens (Value::typedToken). The shared
+/// machinery behind group_by, spread and distinct.
+struct RowGrouping {
+  std::vector<uint32_t> GroupOf;  ///< row -> group index
+  std::vector<size_t> FirstRow;   ///< group -> first row index
+  size_t numGroups() const { return FirstRow.size(); }
+
+  /// Expands to group -> member-row lists (the groupedRowIndices shape).
+  std::vector<std::vector<size_t>> memberLists() const;
+};
+
+RowGrouping groupRowsBy(const Table &T, const std::vector<size_t> &KeyIdx);
 
 } // namespace morpheus
 

@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace morpheus;
 
@@ -15,44 +17,97 @@ std::string_view morpheus::cellTypeName(CellType T) {
   return T == CellType::Num ? "num" : "str";
 }
 
-std::string Value::toString() const {
-  if (isStr())
-    return Str;
-  double N = Num;
-  if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 1e15) {
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%.0f", N);
-    return Buf;
-  }
-  char Buf[48];
-  std::snprintf(Buf, sizeof(Buf), "%.7g", N);
-  return Buf;
+namespace {
+
+/// Prints \p N the way toString does, into \p Buf; returns the length.
+size_t printNum(double N, char (&Buf)[48]) {
+  if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 1e15)
+    return size_t(std::snprintf(Buf, sizeof(Buf), "%.0f", N));
+  return size_t(std::snprintf(Buf, sizeof(Buf), "%.7g", N));
 }
 
-bool Value::operator==(const Value &Other) const {
-  if (Type != Other.Type)
-    return false;
+} // namespace
+
+std::string Value::toString() const {
   if (isStr())
-    return Str == Other.Str;
-  if (Num == Other.Num)
+    return strVal();
+  char Buf[48];
+  size_t Len = printNum(Num, Buf);
+  return std::string(Buf, Len);
+}
+
+uint32_t Value::canonicalToken() const {
+  if (isStr())
+    return StrId;
+  // Numeric cells recur massively inside the grouping/distinct kernels, so
+  // memoize bit-pattern -> token in a thread-local direct-mapped cache:
+  // the common case costs one load instead of a printf plus a trip through
+  // the interner's mutex. Tokens are process-global, so caching per thread
+  // is sound.
+  struct Entry {
+    uint64_t Bits;
+    uint32_t Token;
+    bool Valid;
+  };
+  static thread_local Entry Cache[256] = {};
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Num), "double must be 64-bit");
+  std::memcpy(&Bits, &Num, sizeof(Bits));
+  Entry &E = Cache[(Bits ^ (Bits >> 17) ^ (Bits >> 39)) & 0xFF];
+  if (E.Valid && E.Bits == Bits)
+    return E.Token;
+  char Buf[48];
+  size_t Len = printNum(Num, Buf);
+  uint32_t Token =
+      StringInterner::global().intern(std::string_view(Buf, Len));
+  E = {Bits, Token, true};
+  return Token;
+}
+
+bool Value::numEq(double A, double B) {
+  if (A == B)
     return true;
   // Tolerant comparison for derived numeric cells (e.g. 2/3 printed as
   // 0.6666667 in the paper's Example 2).
-  double Scale = std::fmax(std::fabs(Num), std::fabs(Other.Num));
-  return std::fabs(Num - Other.Num) <= 1e-9 * std::fmax(Scale, 1.0);
+  double Scale = std::fmax(std::fabs(A), std::fabs(B));
+  return std::fabs(A - B) <= 1e-9 * std::fmax(Scale, 1.0);
 }
 
-bool Value::operator<(const Value &Other) const {
-  if (Type != Other.Type)
-    return Type == CellType::Num; // numbers order before strings
-  if (isNum())
-    return Num < Other.Num && !(*this == Other);
-  return Str < Other.Str;
+namespace {
+
+inline size_t mixInt(uint64_t X, uint64_t Salt) {
+  X = (X + Salt) * 0x9e3779b97f4a7c15ULL;
+  X ^= X >> 29;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 32;
+  return size_t(X);
 }
+
+} // namespace
 
 size_t Value::hash() const {
-  // Hash the printed form so tolerant numeric equality and hashing agree for
-  // all values that arise in practice (printed at 7 significant digits).
-  return std::hash<std::string>()(toString()) ^
-         (isStr() ? size_t(0x9e3779b97f4a7c15ULL) : 0);
+  if (isStr()) {
+    // Ids are unique per text, so mixing the id hashes the content.
+    return mixInt(StrId, 0x5851f42d4c957f2dULL);
+  }
+  // Numbers hash their *printed form's* equivalence class, so tolerant
+  // equality and hashing agree for all values that arise in practice
+  // (7 significant digits). The hot case — integral values, the bulk of
+  // every table — skips formatting entirely: an integral below 1e15
+  // prints as its exact decimal digits, so hashing the integer IS hashing
+  // the printed form.
+  if (std::isfinite(Num) && Num == std::floor(Num) && std::fabs(Num) < 1e15)
+    return mixInt(uint64_t(int64_t(Num)), 0x2545f4914f6cdd1dULL);
+  char Buf[48];
+  size_t Len = std::snprintf(Buf, sizeof(Buf), "%.7g", Num);
+  // A non-integral value can still print as a pure integer ("3" for
+  // 3.0000000001); remap it onto the integral fast path so the two hash
+  // together, like their printed forms.
+  bool PureInt = Len > 0;
+  for (size_t I = (Buf[0] == '-' ? 1 : 0); I != Len && PureInt; ++I)
+    PureInt = Buf[I] >= '0' && Buf[I] <= '9';
+  if (PureInt && Len > size_t(Buf[0] == '-'))
+    return mixInt(uint64_t(std::strtoll(Buf, nullptr, 10)),
+                  0x2545f4914f6cdd1dULL);
+  return std::hash<std::string_view>()(std::string_view(Buf, Len));
 }

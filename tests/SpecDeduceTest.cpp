@@ -89,7 +89,7 @@ TEST(Deduce, PaperExample10) {
                         {num(2), str("Bob"), num(18), num(3.2)},
                         {num(3), str("Tom"), num(12), num(3.0)}});
   // Output with the same number of columns as the input (Fig. 8's T2).
-  Table Out(In.schema(), {In.rows()[1], In.rows()[2]});
+  Table Out(In.schema(), {In.row(1), In.row(2)});
   const TableTransformer *Select = StandardComponents::get().find("select");
   const TableTransformer *Filter = StandardComponents::get().find("filter");
   HypPtr Sigma = Hypothesis::apply(

@@ -137,9 +137,9 @@ TEST_F(InhabitationFixture, PredsUseColumnConstants) {
   EXPECT_FALSE(Terms.empty());
   // Every predicate evaluates to a boolean on every row.
   for (const TermPtr &P : Terms) {
-    for (const Row &R : T.rows()) {
+    for (size_t R = 0; R != T.numRows(); ++R) {
       std::vector<size_t> Group{0, 1};
-      EvalContext Ctx{&T, &R, &Group};
+      EvalContext Ctx{&T, R, &Group};
       std::optional<Value> V = evalTerm(*P, Ctx);
       ASSERT_TRUE(V);
       EXPECT_TRUE(V->isNum());

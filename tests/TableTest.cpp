@@ -73,10 +73,13 @@ TEST(Table, UnorderedEqualityIgnoresRowOrder) {
 
 TEST(Table, EqualityIsSchemaSensitive) {
   Table A = roster();
+  std::vector<Row> Rows;
+  for (size_t R = 0; R != A.numRows(); ++R)
+    Rows.push_back(A.row(R));
   Table B = makeTable({{"id", CellType::Num},
                        {"fullname", CellType::Str},
                        {"age", CellType::Num}},
-                      A.rows());
+                      Rows);
   EXPECT_FALSE(A.equalsUnordered(B));
 }
 
@@ -106,15 +109,85 @@ TEST(Table, GroupKeysDistinguishTypes) {
   EXPECT_EQ(U.numGroups(), 1u);
 }
 
-TEST(TableUtils, HeaderAndValueSets) {
+TEST(TableUtils, HeaderAndValueTokenSets) {
   Table T = roster();
-  std::set<std::string> H = headerSet(T);
-  EXPECT_EQ(H, (std::set<std::string>{"id", "name", "age"}));
-  std::set<std::string> V = valueSet(T);
-  EXPECT_TRUE(V.count("Alice"));
-  EXPECT_TRUE(V.count("18"));
-  EXPECT_TRUE(V.count("age")); // headers are members of the value set
+  StringInterner &Pool = StringInterner::global();
+  TokenSet H = headerTokens(T);
+  EXPECT_EQ(H, (TokenSet{Pool.intern("id"), Pool.intern("name"),
+                         Pool.intern("age")}));
+  TokenSet V = valueTokens(T);
+  EXPECT_TRUE(V.count(Pool.intern("Alice")));
+  EXPECT_TRUE(V.count(Pool.intern("18"))); // numeric cells join by print
+  EXPECT_TRUE(V.count(Pool.intern("age"))); // headers are value members
   EXPECT_EQ(countNotIn(V, H), V.size() - 3);
+}
+
+TEST(Value, InternedStringIdentity) {
+  // One text, one id: equality and hashing collapse to integer ops.
+  EXPECT_EQ(str("shared").strId(), str("shared").strId());
+  EXPECT_NE(str("shared").strId(), str("other").strId());
+  EXPECT_EQ(str("shared").strVal(), "shared");
+  // Canonical tokens unify a numeric cell with its printed form.
+  EXPECT_EQ(num(3).canonicalToken(), str("3").canonicalToken());
+  EXPECT_NE(num(3).canonicalToken(), num(4).canonicalToken());
+}
+
+TEST(Value, OrderingSurvivesLateInterning) {
+  // The rank table rebuilds after new strings arrive mid-comparison.
+  Value A = str("rank_aa"), C = str("rank_cc");
+  EXPECT_LT(A, C);
+  Value B = str("rank_bb"); // invalidates the rank snapshot
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_FALSE(C < B);
+}
+
+TEST(Table, FingerprintIsOrderInsensitive) {
+  Table A = roster();
+  Table B = makeTable({{"id", CellType::Num},
+                       {"name", CellType::Str},
+                       {"age", CellType::Num}},
+                      {{num(3), str("Tom"), num(12)},
+                       {num(1), str("Alice"), num(8)},
+                       {num(2), str("Bob"), num(18)}});
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  // A changed cell, a changed column name, or a changed type all shift it.
+  Table C = makeTable({{"id", CellType::Num},
+                       {"name", CellType::Str},
+                       {"age", CellType::Num}},
+                      {{num(1), str("Alice"), num(8)},
+                       {num(2), str("Bob"), num(18)},
+                       {num(3), str("Tom"), num(13)}});
+  EXPECT_NE(A.fingerprint(), C.fingerprint());
+  std::vector<Row> Rows;
+  for (size_t R = 0; R != A.numRows(); ++R)
+    Rows.push_back(A.row(R));
+  Table D = makeTable({{"id", CellType::Num},
+                       {"label", CellType::Str},
+                       {"age", CellType::Num}},
+                      Rows);
+  EXPECT_NE(A.fingerprint(), D.fingerprint());
+}
+
+TEST(Table, FingerprintIgnoresSwappedCellsAcrossRows) {
+  // Commutative row combine must still see *rows*, not loose cells: the
+  // same multiset of cells arranged into different rows must differ.
+  Table A = makeTable({{"x", CellType::Num}, {"y", CellType::Num}},
+                      {{num(1), num(2)}, {num(3), num(4)}});
+  Table B = makeTable({{"x", CellType::Num}, {"y", CellType::Num}},
+                      {{num(1), num(4)}, {num(3), num(2)}});
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  EXPECT_FALSE(A.equalsUnordered(B));
+}
+
+TEST(Table, ColumnViewIsZeroCopy) {
+  Table T = roster();
+  // The named view and the indexed view alias the same storage.
+  EXPECT_EQ(&T.column("age"), &T.col(2));
+  EXPECT_EQ(T.colHandle(2).get(), &T.col(2));
+  // A copied table shares every column (copy-on-write).
+  Table U = T;
+  EXPECT_EQ(U.colHandle(0).get(), T.colHandle(0).get());
 }
 
 TEST(TableUtils, DistinctColumnValues) {

@@ -22,8 +22,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Engine.h"
+#include "io/Json.h"
 #include "io/ProblemIO.h"
 #include "io/ProgramIO.h"
+#include "io/TableIO.h"
 #include "suite/Runner.h"
 
 #include <cstdio>
@@ -66,7 +68,10 @@ int usage(const char *Msg = nullptr) {
       "  --config spec2|spec1|nodeduction paper configuration (default\n"
       "                                   spec2)\n"
       "  --strategy, --timeout, --threads as above (default timeout 5000)\n"
-      "  --limit N                        run only the first N tasks\n");
+      "  --limit N                        run only the first N tasks\n"
+      "  --json PATH                      write a perf snapshot (per-task\n"
+      "                                   solve times + candidate\n"
+      "                                   throughput), e.g. BENCH_synth.json\n");
   return 2;
 }
 
@@ -201,8 +206,57 @@ int runSolve(ArgReader &Args) {
   return 0;
 }
 
+/// Serializes suite results as the BENCH_synth.json perf snapshot: per-task
+/// solve times and candidate-check throughput, plus suite-level aggregates,
+/// so successive runs record the engine's performance trajectory.
+JsonValue benchSnapshot(const std::string &SuiteName,
+                        const std::string &ConfigName, Strategy Strat,
+                        int TimeoutMs, const std::vector<TaskResult> &Results) {
+  JsonValue Out = JsonValue::object();
+  Out.set("suite", JsonValue::string(SuiteName));
+  Out.set("config", JsonValue::string(ConfigName));
+  Out.set("strategy", JsonValue::string(std::string(strategyName(Strat))));
+  Out.set("timeout_ms", JsonValue::number(double(TimeoutMs)));
+
+  JsonValue Tasks = JsonValue::array();
+  uint64_t TotalCandidates = 0;
+  double TotalSeconds = 0;
+  for (const TaskResult &R : Results) {
+    JsonValue T = JsonValue::object();
+    T.set("id", JsonValue::string(R.TaskId));
+    T.set("category", JsonValue::string(R.Category));
+    T.set("solved", JsonValue::boolean(R.Solved));
+    T.set("seconds", JsonValue::number(R.Seconds));
+    T.set("candidates_checked",
+          JsonValue::number(double(R.Stats.CandidatesChecked)));
+    T.set("candidates_per_sec",
+          JsonValue::number(R.Seconds > 0
+                                ? double(R.Stats.CandidatesChecked) / R.Seconds
+                                : 0));
+    Tasks.Arr.push_back(std::move(T));
+    TotalCandidates += R.Stats.CandidatesChecked;
+    TotalSeconds += R.Seconds;
+  }
+  Out.set("tasks", std::move(Tasks));
+
+  JsonValue Summary = JsonValue::object();
+  Summary.set("solved", JsonValue::number(double(solvedCount(Results))));
+  Summary.set("total", JsonValue::number(double(Results.size())));
+  Summary.set("median_solved_seconds",
+              JsonValue::number(medianSolvedTime(Results)));
+  Summary.set("total_seconds", JsonValue::number(TotalSeconds));
+  Summary.set("total_candidates_checked",
+              JsonValue::number(double(TotalCandidates)));
+  Summary.set("aggregate_candidates_per_sec",
+              JsonValue::number(TotalSeconds > 0
+                                    ? double(TotalCandidates) / TotalSeconds
+                                    : 0));
+  Out.set("summary", std::move(Summary));
+  return Out;
+}
+
 int runBench(ArgReader &Args) {
-  std::string SuiteName = "morpheus", ConfigName = "spec2";
+  std::string SuiteName = "morpheus", ConfigName = "spec2", JsonPath;
   Strategy Strat = Strategy::Sequential;
   int TimeoutMs = 5000;
   unsigned Threads = 0;
@@ -253,6 +307,10 @@ int runBench(ArgReader &Args) {
       if (!N)
         return usage("--limit expects a number");
       Limit = size_t(*N);
+    } else if (A == "--json") {
+      if (!Args.value(A, V))
+        return 2;
+      JsonPath = V;
     } else {
       return usage(("unknown option " + A).c_str());
     }
@@ -281,6 +339,17 @@ int runBench(ArgReader &Args) {
   std::printf("\nsolved %zu/%zu, median solved time %.2fs\n",
               solvedCount(Results), Results.size(),
               medianSolvedTime(Results));
+
+  if (!JsonPath.empty()) {
+    JsonValue Snapshot =
+        benchSnapshot(SuiteName, ConfigName, Strat, TimeoutMs, Results);
+    std::string Err;
+    if (!writeFile(JsonPath, Snapshot.dump(2), &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
   return 0;
 }
 
