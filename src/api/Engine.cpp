@@ -7,6 +7,9 @@
 #include "api/Engine.h"
 
 #include "interp/Components.h"
+#include "service/SynthService.h"
+
+#include <algorithm>
 
 using namespace morpheus;
 
@@ -71,7 +74,16 @@ Solution Engine::solve(const Problem &P) const {
 }
 
 Solution Engine::solve(const Problem &P, CancellationToken Cancel) const {
+  return solve(P, std::move(Cancel), std::nullopt);
+}
+
+Solution
+Engine::solve(const Problem &P, CancellationToken Cancel,
+              std::optional<std::chrono::steady_clock::time_point> Deadline)
+    const {
   SynthesisConfig Cfg = Opts.config();
+  if (Deadline && (!Cfg.Deadline || *Deadline < *Cfg.Deadline))
+    Cfg.Deadline = Deadline;
   Cfg.OrderedCompare = P.OrderedCompare;
   // Honour a token the caller embedded in the raw config (the
   // EngineOptions::config escape hatch) alongside the solve-call token:
@@ -106,4 +118,32 @@ Solution Engine::solve(const Problem &P, CancellationToken Cancel) const {
   else
     Out.Result = Outcome::Exhausted;
   return Out;
+}
+
+std::vector<Solution> Engine::solveBatch(const std::vector<Problem> &Problems,
+                                         unsigned Workers) const {
+  // A transient service: the pool gives concurrency, the fingerprint layer
+  // collapses duplicate problems to one solve each. The queue is sized to
+  // the batch so submission never blocks.
+  SynthService Svc(*this,
+                   ServiceOptions().workers(Workers).queueCapacity(
+                       std::max<size_t>(Problems.size(), 1)));
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Problems.size());
+  for (const Problem &P : Problems)
+    Handles.push_back(Svc.submit(P));
+
+  std::vector<Solution> Out;
+  Out.reserve(Handles.size());
+  for (const JobHandle &H : Handles)
+    Out.push_back(H.get());
+  return Out;
+}
+
+SynthService &Engine::shared() {
+  // Leaked on purpose: joining worker threads from a static destructor at
+  // process exit is a classic shutdown hazard, and the service is meant to
+  // live for the whole process anyway.
+  static SynthService *Shared = new SynthService(Engine::standard());
+  return *Shared;
 }

@@ -35,6 +35,8 @@
 
 namespace morpheus {
 
+class SynthService; // src/service/SynthService.h
+
 /// How Engine::solve searches.
 enum class Strategy {
   Sequential, ///< one Synthesizer, single cost-ordered worklist
@@ -154,6 +156,27 @@ public:
   /// As above, but the search also aborts — Outcome::Cancelled — once
   /// \p Cancel has a stop requested.
   Solution solve(const Problem &P, CancellationToken Cancel) const;
+
+  /// As above, with an absolute deadline: the search stops (reported as a
+  /// timeout) at the earlier of the configured timeout and \p Deadline.
+  /// The SynthService scheduler uses this so queue wait counts against a
+  /// job's submit-relative deadline.
+  Solution
+  solve(const Problem &P, CancellationToken Cancel,
+        std::optional<std::chrono::steady_clock::time_point> Deadline) const;
+
+  /// Solves a batch of problems through a transient SynthService over this
+  /// engine: all problems are scheduled on a worker pool and identical
+  /// problems (by fingerprint) are solved once. Results are returned in
+  /// input order. \p Workers = 0 means hardware concurrency.
+  std::vector<Solution> solveBatch(const std::vector<Problem> &Problems,
+                                   unsigned Workers = 0) const;
+
+  /// The process-wide service: a SynthService over Engine::standard() with
+  /// default options, created on first use and alive for the rest of the
+  /// process. The convenient entry point for callers that just want
+  /// concurrent, cached solves without owning a service.
+  static SynthService &shared();
 
 private:
   ComponentLibrary Lib;

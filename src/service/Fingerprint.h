@@ -1,0 +1,46 @@
+//===- service/Fingerprint.h - Canonical problem fingerprint ----*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressing layer of the SynthService result cache: a 64-bit
+/// fingerprint of (problem, search-relevant engine options). Two submissions
+/// with equal fingerprints would be solved identically, so the service can
+/// serve one from the other's result.
+///
+/// Composition (all hash-combined order-sensitively):
+///  - every input table's order-insensitive fingerprint (PR 3's cached
+///    schema + commutative row-hash), in input order — input position is
+///    observable through program variables, so inputs do not commute;
+///  - the output table's fingerprint, plus a row-order-sensitive fold of
+///    the output rows when OrderedCompare is set (the order-insensitive
+///    table fingerprint alone would merge problems that differ only in the
+///    required row order);
+///  - the search-relevant engine options: strategy, spec level, deduction /
+///    partial-eval / n-gram toggles, component bounds, timeout and sketch
+///    budgets. Thread count is deliberately excluded (it changes how fast a
+///    portfolio finds a program, not which problems are solvable), as are
+///    Problem::Name / Description (labels, not content).
+///
+/// Collisions are possible in principle (~2^-64) and accepted, matching the
+/// contract of Table::fingerprint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SERVICE_FINGERPRINT_H
+#define MORPHEUS_SERVICE_FINGERPRINT_H
+
+#include "api/Engine.h"
+
+#include <cstdint>
+
+namespace morpheus {
+
+/// The canonical cache key for solving \p P under \p Opts.
+uint64_t problemFingerprint(const Problem &P, const EngineOptions &Opts);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SERVICE_FINGERPRINT_H

@@ -1,0 +1,87 @@
+//===- service/ResultCache.cpp - Fingerprint-keyed LRU solution cache ---------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+using namespace morpheus;
+
+std::optional<Solution> ResultCache::getLocked(uint64_t Key) {
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return std::nullopt;
+  Lru.splice(Lru.begin(), Lru, It->second); // bump to MRU
+  return It->second->second;
+}
+
+std::optional<Solution> ResultCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::optional<Solution> S = getLocked(Key);
+  if (S)
+    ++Counters.Hits;
+  else
+    ++Counters.Misses;
+  return S;
+}
+
+std::optional<Solution> ResultCache::probe(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::optional<Solution> S = getLocked(Key);
+  if (S)
+    ++Counters.Hits;
+  return S;
+}
+
+std::optional<Solution> ResultCache::peek(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  return getLocked(Key);
+}
+
+void ResultCache::noteMiss() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.Misses;
+}
+
+void ResultCache::reclassifyMissAsHit() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Counters.Misses)
+    --Counters.Misses;
+  ++Counters.Hits;
+}
+
+void ResultCache::insert(uint64_t Key, Solution S) {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.Insertions;
+  if (Capacity == 0)
+    return;
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = std::move(S);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, std::move(S));
+  Index.emplace(Key, Lru.begin());
+  if (Lru.size() > Capacity) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+}
+
+void ResultCache::noteCoalesced() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.Coalesced;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Lru.size();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}

@@ -59,12 +59,18 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
         MaxTimeout,
         std::chrono::duration_cast<std::chrono::milliseconds>(V.Timeout));
   auto GlobalDeadline = Start + MaxTimeout;
+  // An absolute deadline in any variant bounds the whole portfolio too
+  // (members already honour their own Cfg.Deadline inside the search).
+  for (const SynthesisConfig &V : Variants)
+    if (V.Deadline && *V.Deadline < GlobalDeadline)
+      GlobalDeadline = *V.Deadline;
 
   // Fresh stop flag per run, linked to the caller's token: the winner
   // cancels its siblings without marking the caller's token as stopped.
   CancellationToken Stop = Cancel.makeLinked();
   std::atomic<int> Winner{-1};
   std::atomic<size_t> NextVariant{0};
+  std::atomic<bool> DeadlineSkipped{false};
   std::vector<SynthesisResult> Results(Variants.size());
   std::vector<char> Started(Variants.size(), 0);
 
@@ -77,8 +83,13 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
                // stragglers
       auto Remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           GlobalDeadline - std::chrono::steady_clock::now());
-      if (Remaining <= std::chrono::milliseconds::zero())
-        break; // global budget exhausted before this member's turn
+      if (Remaining <= std::chrono::milliseconds::zero()) {
+        // Global budget exhausted before this member's turn. The member
+        // was denied time, not search space: the unsolved portfolio must
+        // report a timeout, never a (cacheable) "space exhausted".
+        DeadlineSkipped.store(true, std::memory_order_relaxed);
+        break;
+      }
       Started[I] = 1;
       SynthesisConfig Cfg = Variants[I];
       Cfg.Cancel = Stop;
@@ -134,5 +145,7 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
   }
   // One time base regardless of outcome: the portfolio's wall clock.
   Out.Stats.ElapsedSeconds = Out.ElapsedSeconds;
+  if (!Out.Program && DeadlineSkipped.load(std::memory_order_relaxed))
+    Out.Stats.TimedOut = true;
   return Out;
 }

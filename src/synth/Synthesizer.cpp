@@ -86,6 +86,8 @@ public:
       : Lib(Lib), Cfg(Cfg), Inputs(Inputs), Output(Output),
         Engine(Inputs, Output), Inhab(Lib, Cfg.Inhab),
         Deadline(std::chrono::steady_clock::now() + Cfg.Timeout) {
+    if (Cfg.Deadline && *Cfg.Deadline < Deadline)
+      Deadline = *Cfg.Deadline;
     // Warm the example's comparison caches once per search: every candidate
     // check reuses the output's fingerprint and canonical row permutation.
     OutputFingerprint = Output.fingerprint();

@@ -27,6 +27,7 @@
 #include "synth/Inhabitation.h"
 
 #include <chrono>
+#include <optional>
 
 namespace morpheus {
 
@@ -52,8 +53,13 @@ struct SynthesisConfig {
   /// portfolio (Section 8) to dedicate one engine to each size class;
   /// 0 keeps the classic behaviour of attempting every size.
   unsigned MinComponents = 0;
-  /// Wall-clock budget.
+  /// Wall-clock budget, measured from the start of the synthesize call.
   std::chrono::milliseconds Timeout{5000};
+  /// Optional absolute deadline. When set, the search stops (reported as a
+  /// timeout) at the earlier of `start + Timeout` and this point — the
+  /// service layer uses it so a job dequeued late still honours the
+  /// caller's submit-relative deadline instead of restarting its budget.
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
   /// Weight of program size in the worklist cost (Occam's razor tie to the
   /// n-gram score).
   double SizeWeight = 4.0;

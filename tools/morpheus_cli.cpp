@@ -15,9 +15,16 @@
 ///   morpheus bench --suite morpheus|sql [--config spec2|spec1|nodeduction]
 ///                            [--strategy sequential|portfolio]
 ///                            [--timeout MS] [--threads N] [--limit N]
+///   morpheus serve [--workers N] [--queue N] [--cache N] [--timeout MS]
+///                            [--strategy ...] [--spec ...] [--library ...]
 ///
-/// Exit codes: 0 solved / bench completed, 1 not solved, 2 usage or input
-/// error.
+/// serve reads one JSON request per stdin line and writes one JSON
+/// response per line (in request order) through a SynthService: concurrent
+/// workers, fingerprint-keyed result cache, single-flight dedup.
+///
+/// Exit codes: 0 solved / bench or serve completed, 2 usage or input
+/// error; `solve` distinguishes failures: 3 timeout, 4 search space
+/// exhausted, 5 cancelled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,11 +33,18 @@
 #include "io/ProblemIO.h"
 #include "io/ProgramIO.h"
 #include "io/TableIO.h"
+#include "service/SynthService.h"
 #include "suite/Runner.h"
 
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,6 +63,8 @@ int usage(const char *Msg = nullptr) {
       "                                         JSON problem file\n"
       "  morpheus bench [options]               run a compiled-in benchmark\n"
       "                                         suite\n"
+      "  morpheus serve [options]               JSON-lines synthesis service\n"
+      "                                         on stdin/stdout\n"
       "\n"
       "solve options:\n"
       "  --strategy sequential|portfolio  search strategy (default\n"
@@ -71,8 +87,37 @@ int usage(const char *Msg = nullptr) {
       "  --limit N                        run only the first N tasks\n"
       "  --json PATH                      write a perf snapshot (per-task\n"
       "                                   solve times + candidate\n"
-      "                                   throughput), e.g. BENCH_synth.json\n");
+      "                                   throughput), e.g. BENCH_synth.json\n"
+      "\n"
+      "serve options:\n"
+      "  --workers N                      worker pool size (default:\n"
+      "                                   hardware concurrency)\n"
+      "  --queue N                        bounded request queue (default 256)\n"
+      "  --cache N                        result-cache entries (default 512,\n"
+      "                                   0 disables)\n"
+      "  --strategy, --timeout, --threads, --spec, --no-deduction,\n"
+      "  --library                        as for solve\n"
+      "\n"
+      "solve exit codes: 0 solved, 2 usage/input error, 3 timeout,\n"
+      "4 exhausted, 5 cancelled\n");
   return 2;
+}
+
+/// `morpheus solve`'s exit code for a finished search: scripts can tell a
+/// budget problem (retry with more time) from an exhausted space (the
+/// problem is out of scope) without parsing stderr.
+int exitCodeFor(Outcome O) {
+  switch (O) {
+  case Outcome::Solved:
+    return 0;
+  case Outcome::Timeout:
+    return 3;
+  case Outcome::Exhausted:
+    return 4;
+  case Outcome::Cancelled:
+    return 5;
+  }
+  return 1;
 }
 
 struct ArgReader {
@@ -102,6 +147,68 @@ std::optional<int> parseIntArg(const std::string &S) {
   return int(V);
 }
 
+/// The engine flags shared by `solve` and `serve` (--strategy, --timeout,
+/// --threads, --spec, --no-deduction, --library), kept in one place so
+/// the two commands cannot drift apart. Returns -1 when \p A is not an
+/// engine flag, 0 when consumed, or an exit code on a bad value.
+int engineArg(ArgReader &Args, const std::string &A, EngineOptions &Opts,
+              std::string &LibraryName) {
+  std::string V;
+  if (A == "--strategy") {
+    if (!Args.value(A, V))
+      return 2;
+    if (V == "sequential")
+      Opts.strategy(Strategy::Sequential);
+    else if (V == "portfolio")
+      Opts.strategy(Strategy::Portfolio);
+    else
+      return usage("unknown strategy (use sequential or portfolio)");
+    return 0;
+  }
+  if (A == "--timeout") {
+    if (!Args.value(A, V))
+      return 2;
+    std::optional<int> MS = parseIntArg(V);
+    if (!MS)
+      return usage("--timeout expects milliseconds");
+    Opts.timeout(std::chrono::milliseconds(*MS));
+    return 0;
+  }
+  if (A == "--threads") {
+    if (!Args.value(A, V))
+      return 2;
+    std::optional<int> N = parseIntArg(V);
+    if (!N)
+      return usage("--threads expects a number");
+    Opts.threads(unsigned(*N));
+    return 0;
+  }
+  if (A == "--spec") {
+    if (!Args.value(A, V))
+      return 2;
+    if (V == "spec1")
+      Opts.specLevel(SpecLevel::Spec1);
+    else if (V == "spec2")
+      Opts.specLevel(SpecLevel::Spec2);
+    else
+      return usage("unknown spec level (use spec1 or spec2)");
+    return 0;
+  }
+  if (A == "--no-deduction") {
+    Opts.deduction(false);
+    return 0;
+  }
+  if (A == "--library") {
+    if (!Args.value(A, V))
+      return 2;
+    if (V != "tidy" && V != "sql")
+      return usage("unknown library (use tidy or sql)");
+    LibraryName = V;
+    return 0;
+  }
+  return -1;
+}
+
 int runSolve(ArgReader &Args) {
   std::string TaskPath, Emit = "r", LibraryName = "tidy";
   EngineOptions Opts;
@@ -111,52 +218,15 @@ int runSolve(ArgReader &Args) {
   while (!Args.done()) {
     std::string A = Args.next();
     std::string V;
-    if (A == "--strategy") {
-      if (!Args.value(A, V))
-        return 2;
-      if (V == "sequential")
-        Opts.strategy(Strategy::Sequential);
-      else if (V == "portfolio")
-        Opts.strategy(Strategy::Portfolio);
-      else
-        return usage("unknown strategy (use sequential or portfolio)");
+    if (int E = engineArg(Args, A, Opts, LibraryName); E >= 0) {
+      if (E > 0)
+        return E;
     } else if (A == "--emit") {
       if (!Args.value(A, V))
         return 2;
       if (V != "r" && V != "sexp" && V != "both")
         return usage("unknown emit form (use r, sexp or both)");
       Emit = V;
-    } else if (A == "--timeout") {
-      if (!Args.value(A, V))
-        return 2;
-      std::optional<int> MS = parseIntArg(V);
-      if (!MS)
-        return usage("--timeout expects milliseconds");
-      Opts.timeout(std::chrono::milliseconds(*MS));
-    } else if (A == "--threads") {
-      if (!Args.value(A, V))
-        return 2;
-      std::optional<int> N = parseIntArg(V);
-      if (!N)
-        return usage("--threads expects a number");
-      Opts.threads(unsigned(*N));
-    } else if (A == "--spec") {
-      if (!Args.value(A, V))
-        return 2;
-      if (V == "spec1")
-        Opts.specLevel(SpecLevel::Spec1);
-      else if (V == "spec2")
-        Opts.specLevel(SpecLevel::Spec2);
-      else
-        return usage("unknown spec level (use spec1 or spec2)");
-    } else if (A == "--no-deduction") {
-      Opts.deduction(false);
-    } else if (A == "--library") {
-      if (!Args.value(A, V))
-        return 2;
-      if (V != "tidy" && V != "sql")
-        return usage("unknown library (use tidy or sql)");
-      LibraryName = V;
     } else if (A == "--quiet") {
       Quiet = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -190,7 +260,7 @@ int runSolve(ArgReader &Args) {
     std::fprintf(stderr, "no program found: %s after %.2fs (%llu hypotheses)\n",
                  std::string(outcomeName(S.Result)).c_str(), S.Seconds,
                  (unsigned long long)S.Stats.HypothesesExplored);
-    return 1;
+    return exitCodeFor(S.Result);
   }
 
   if (!Quiet)
@@ -353,6 +423,203 @@ int runBench(ArgReader &Args) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// serve: JSON-lines requests on stdin -> JSON-lines responses on stdout
+//===----------------------------------------------------------------------===//
+
+/// One accepted stdin line awaiting its response: a submitted job, or a
+/// parse/schema error to report in sequence. A dedicated flusher thread
+/// prints responses in request order as each head-of-line job completes,
+/// so a request/response client gets its answer while the reader blocks
+/// on the next stdin line (and a slow request delays later responses but
+/// never loses them — the service keeps solving behind it either way).
+struct PendingRequest {
+  JsonValue Id; ///< echoed back; defaults to the 1-based line number
+  std::string Name;
+  std::string Error; ///< non-empty: the request never reached the service
+  std::vector<std::string> InputNames;
+  JobHandle Handle;
+};
+
+void printResponse(const PendingRequest &Req) {
+  if (!Req.Error.empty()) {
+    JsonValue R = JsonValue::object();
+    R.set("id", Req.Id);
+    R.set("error", JsonValue::string(Req.Error));
+    std::printf("%s\n", R.dump().c_str());
+    std::fflush(stdout);
+    return;
+  }
+  const Solution &S = Req.Handle.get();
+  JsonValue R = JsonValue::object();
+  R.set("id", Req.Id);
+  if (!Req.Name.empty())
+    R.set("name", JsonValue::string(Req.Name));
+  R.set("outcome",
+        JsonValue::string(std::string(outcomeName(S.Result))));
+  R.set("source",
+        JsonValue::string(std::string(resultSourceName(Req.Handle.source()))));
+  R.set("seconds", JsonValue::number(S.Seconds));
+  if (S) {
+    JsonValue Prog = JsonValue::object();
+    Prog.set("r", JsonValue::string(emitRProgram(S.Program, Req.InputNames)));
+    Prog.set("sexp", JsonValue::string(printSexp(S.Program)));
+    R.set("program", std::move(Prog));
+  }
+  JsonValue Stats = JsonValue::object();
+  Stats.set("hypotheses",
+            JsonValue::number(double(S.Stats.HypothesesExplored)));
+  Stats.set("candidates_checked",
+            JsonValue::number(double(S.Stats.CandidatesChecked)));
+  R.set("stats", std::move(Stats));
+  std::printf("%s\n", R.dump().c_str());
+  std::fflush(stdout);
+}
+
+int runServe(ArgReader &Args) {
+  EngineOptions Opts;
+  Opts.timeout(std::chrono::milliseconds(30000));
+  std::string LibraryName = "tidy";
+  ServiceOptions SvcOpts;
+
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--workers") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--workers expects a number");
+      SvcOpts.workers(unsigned(*N));
+    } else if (A == "--queue") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N || *N == 0)
+        return usage("--queue expects a positive number");
+      SvcOpts.queueCapacity(size_t(*N));
+    } else if (A == "--cache") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--cache expects a number");
+      SvcOpts.cacheCapacity(size_t(*N));
+    } else if (int E = engineArg(Args, A, Opts, LibraryName); E >= 0) {
+      if (E > 0)
+        return E;
+    } else {
+      return usage(("unknown option " + A).c_str());
+    }
+  }
+
+  Engine E =
+      LibraryName == "sql" ? Engine::sql(Opts) : Engine::standard(Opts);
+  SynthService Svc(E, SvcOpts);
+
+  // Reader/flusher pair: the main thread parses and submits, the flusher
+  // blocks on the head-of-line job and prints — responses stream even
+  // while the reader is blocked on stdin.
+  // Bounded: dedupable (cached) requests never touch the service's work
+  // queue, so without this cap a fast producer against a slow stdout
+  // consumer would grow the response backlog without limit.
+  constexpr size_t MaxPendingResponses = 1024;
+  std::mutex PendingMutex;
+  std::condition_variable PendingReady;
+  std::condition_variable PendingSpace;
+  std::deque<PendingRequest> Pending;
+  bool Eof = false;
+  std::thread Flusher([&] {
+    for (;;) {
+      PendingRequest Req;
+      {
+        std::unique_lock<std::mutex> Lock(PendingMutex);
+        PendingReady.wait(Lock, [&] { return Eof || !Pending.empty(); });
+        if (Pending.empty())
+          return; // Eof and fully drained
+        Req = std::move(Pending.front());
+        Pending.pop_front();
+        PendingSpace.notify_one();
+      }
+      printResponse(Req); // blocks in JobHandle::get() for live jobs
+    }
+  });
+  auto Respond = [&](PendingRequest Req) {
+    std::unique_lock<std::mutex> Lock(PendingMutex);
+    PendingSpace.wait(Lock,
+                      [&] { return Pending.size() < MaxPendingResponses; });
+    Pending.push_back(std::move(Req));
+    PendingReady.notify_one();
+  };
+
+  std::string Line;
+  uint64_t LineNo = 0;
+  while (std::getline(std::cin, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    PendingRequest Req;
+    Req.Id = JsonValue::number(double(LineNo));
+
+    std::string Err;
+    std::optional<JsonValue> Doc = parseJson(Line, &Err);
+    if (!Doc) {
+      Req.Error = "parse error: " + Err;
+      Respond(std::move(Req));
+      continue;
+    }
+    if (const JsonValue *ReqId = Doc->find("id"))
+      Req.Id = *ReqId;
+
+    // A request is either {"id", "problem": {...}, "priority",
+    // "deadline_ms"} or a bare problem object.
+    const JsonValue *ProblemDoc = Doc->find("problem");
+    if (!ProblemDoc)
+      ProblemDoc = &*Doc;
+    std::optional<Problem> P = problemFromJson(*ProblemDoc, &Err);
+    if (!P) {
+      Req.Error = Err;
+      Respond(std::move(Req));
+      continue;
+    }
+
+    // Untrusted numbers: clamp before narrowing (double -> int outside
+    // the target range is UB, and clients control these fields).
+    JobRequest R;
+    if (const JsonValue *Prio = Doc->find("priority");
+        Prio && Prio->isNumber() && std::isfinite(Prio->Num))
+      R.priority(int(std::min(1e6, std::max(-1e6, Prio->Num))));
+    if (const JsonValue *Dl = Doc->find("deadline_ms");
+        Dl && Dl->isNumber() && std::isfinite(Dl->Num) && Dl->Num > 0)
+      R.deadline(std::chrono::milliseconds(
+          long(std::min(Dl->Num, 86400000.0)))); // cap at one day
+
+    Req.Name = P->Name;
+    Req.InputNames = P->inputNames();
+    Req.Handle = Svc.submit(std::move(*P), R);
+    Respond(std::move(Req));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    Eof = true;
+  }
+  PendingReady.notify_all();
+  Flusher.join();
+
+  ServiceStats Stats = Svc.stats();
+  std::fprintf(stderr,
+               "serve: %llu request(s), %llu solve(s), %llu cache hit(s), "
+               "%llu coalesced, %llu deadline-expired\n",
+               (unsigned long long)Stats.Submitted,
+               (unsigned long long)Stats.SolvesRun,
+               (unsigned long long)Stats.Cache.Hits,
+               (unsigned long long)Stats.Cache.Coalesced,
+               (unsigned long long)(Stats.QueueDeadlineExpired +
+                                    Stats.RiderDeadlineExpired));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -367,6 +634,8 @@ int main(int argc, char **argv) {
     return runSolve(Args);
   if (Cmd == "bench")
     return runBench(Args);
+  if (Cmd == "serve")
+    return runServe(Args);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help")
     return usage();
   return usage(("unknown command '" + Cmd + "'").c_str());
