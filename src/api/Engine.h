@@ -102,6 +102,13 @@ public:
     Cfg.MaxComponents = N;
     return *this;
   }
+  /// How DEDUCE refutations are shared across portfolio members, service
+  /// workers and repeated solves (default per-solve). Sound at every
+  /// setting — identical solved sets and programs, fewer solver calls.
+  EngineOptions &refutationSharing(RefutationSharing S) {
+    Cfg.Sharing = S;
+    return *this;
+  }
   /// Escape hatch: replaces the whole underlying SynthesisConfig (the
   /// strategy and thread count are kept). Lets suite code reuse the named
   /// paper configurations (configSpec2, ...) through the facade.
@@ -110,6 +117,7 @@ public:
   Strategy strategy() const { return Strat; }
   /// Portfolio pool size; 0 means hardware concurrency.
   unsigned threads() const { return NumThreads; }
+  RefutationSharing refutationSharing() const { return Cfg.Sharing; }
   const SynthesisConfig &config() const { return Cfg; }
 
 private:
@@ -164,6 +172,15 @@ public:
   Solution
   solve(const Problem &P, CancellationToken Cancel,
         std::optional<std::chrono::steady_clock::time_point> Deadline) const;
+
+  /// As above, additionally pre-wiring \p Refutations into the search (a
+  /// null store falls back to the configured sharing mode). The service
+  /// uses this to hand every worker the store scoped to the problem's
+  /// example; the store MUST be scoped to \p P's example (inputs+output).
+  Solution
+  solve(const Problem &P, CancellationToken Cancel,
+        std::optional<std::chrono::steady_clock::time_point> Deadline,
+        std::shared_ptr<RefutationStore> Refutations) const;
 
   /// Solves a batch of problems through a transient SynthService over this
   /// engine: all problems are scheduled on a worker pool and identical

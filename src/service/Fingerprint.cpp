@@ -6,22 +6,12 @@
 
 #include "service/Fingerprint.h"
 
+#include "table/Hash.h"
+
 using namespace morpheus;
+using hashing::fold;
 
 namespace {
-
-/// splitmix64 finalizer — the same mixer Table::fingerprint uses, so the
-/// two layers share avalanche characteristics.
-inline uint64_t mix64(uint64_t X) {
-  X ^= X >> 30;
-  X *= 0xbf58476d1ce4e5b9ULL;
-  X ^= X >> 27;
-  X *= 0x94d049bb133111ebULL;
-  X ^= X >> 31;
-  return X;
-}
-
-inline uint64_t fold(uint64_t H, uint64_t V) { return mix64(H ^ V); }
 
 /// Row-order-sensitive fold of every cell, row-major. Only computed for
 /// OrderedCompare outputs, where row order is part of the problem.
@@ -54,6 +44,10 @@ uint64_t morpheus::problemFingerprint(const Problem &P,
     H = fold(H, orderedRowsHash(P.Output));
 
   const SynthesisConfig &Cfg = Opts.config();
+  // RefutationSharing is deliberately excluded, like the thread count: a
+  // shared refutation store changes how fast a verdict is reached, never
+  // which verdict (the parity suite asserts this), so two submissions
+  // differing only in sharing mode are the same problem.
   uint64_t Knobs = uint64_t(Opts.strategy() == Strategy::Portfolio) |
                    uint64_t(Cfg.Level == SpecLevel::Spec2) << 1 |
                    uint64_t(Cfg.UseDeduction) << 2 |

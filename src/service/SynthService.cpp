@@ -22,6 +22,7 @@
 #include "service/SynthService.h"
 
 #include "service/Fingerprint.h"
+#include "spec/Abstraction.h"
 
 #include <algorithm>
 #include <cassert>
@@ -394,8 +395,9 @@ void SynthService::workerLoop() {
     // running work's Deadline, but the clamp that actually applied is
     // what the cache-soundness check below must reason about).
     auto SolveClamp = W->Deadline;
+    std::shared_ptr<RefutationStore> Refs = refutationScopeFor(W->Prob);
     Lock.unlock();
-    Solution S = Eng.solve(W->Prob, W->Token, SolveClamp);
+    Solution S = Eng.solve(W->Prob, W->Token, SolveClamp, std::move(Refs));
     Lock.lock();
 
     unregisterInflight(W);
@@ -430,6 +432,29 @@ void SynthService::workerLoop() {
     }
     SpaceAvailable.notify_all();
   }
+}
+
+std::shared_ptr<RefutationStore>
+SynthService::refutationScopeFor(const Problem &Prob) {
+  const SynthesisConfig &Cfg = Eng.options().config();
+  if (!Cfg.UseDeduction || Cfg.Sharing == RefutationSharing::Off)
+    return nullptr;
+  // Cheap under M: table fingerprints are cached inside the tables and
+  // were forced by problemFingerprint at submit.
+  uint64_t Fp = exampleFingerprint(Prob.Inputs, Prob.Output);
+  auto It = RefScopes.find(Fp);
+  if (It != RefScopes.end())
+    return It->second;
+  // Bound alongside the result cache; epoch flush past it (see header).
+  size_t Cap = std::max<size_t>(Opts.cacheCapacity(), 64);
+  if (RefScopes.size() >= Cap)
+    RefScopes.clear();
+  std::shared_ptr<RefutationStore> Store =
+      Cfg.Sharing == RefutationSharing::ProcessWide
+          ? RefutationStore::forExample(Fp)
+          : std::make_shared<RefutationStore>();
+  RefScopes.emplace(Fp, Store);
+  return Store;
 }
 
 void SynthService::cancelJob(const std::shared_ptr<JobHandle::JobState> &State) {
@@ -607,6 +632,7 @@ ServiceStats SynthService::stats() const {
   std::lock_guard<std::mutex> Lock(M);
   ServiceStats S = Counters;
   S.Cache = Cache.stats();
+  S.RefutationScopes = RefScopes.size();
   S.QueueDepth = Queue.size();
   return S;
 }

@@ -140,6 +140,7 @@ private:
 /// point-in-time queue snapshot.
 struct ServiceStats {
   CacheStats Cache;
+  size_t RefutationScopes = 0;  ///< example-scoped refutation stores held
   uint64_t Submitted = 0;       ///< submit + trySubmit accepted
   uint64_t Rejected = 0;        ///< trySubmit refused: queue full
   uint64_t SolvesRun = 0;       ///< engine solves actually started
@@ -239,6 +240,13 @@ private:
   /// Removes \p W's Inflight entry if it is still the registered one (a
   /// doomed work may have been replaced by a fresh identical submission).
   void unregisterInflight(const std::shared_ptr<Work> &W);
+  /// The refutation store scoped to \p Prob's example, created on first
+  /// use — the deduction analog of the ResultCache: a job whose result
+  /// was evicted (or whose budget differs, so its problem fingerprint
+  /// misses) still reuses every refutation earlier jobs over the same
+  /// example derived. Null when the engine's sharing mode is Off.
+  /// Caller holds M.
+  std::shared_ptr<RefutationStore> refutationScopeFor(const Problem &Prob);
   void cancelJob(const std::shared_ptr<JobHandle::JobState> &State);
   /// Completes \p State (caller holds the service mutex; the per-job lock
   /// is taken inside). False when it already was Done.
@@ -248,6 +256,10 @@ private:
   const Engine Eng;
   const ServiceOptions Opts;
   ResultCache Cache;
+  /// Example-fingerprint-scoped refutation stores (see refutationScopeFor).
+  /// Guarded by M; bounded by epoch flush (in-flight solves keep their
+  /// shared_ptrs, so a flush only forgets facts, it never breaks them).
+  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> RefScopes;
 
   mutable std::mutex M;
   std::condition_variable WorkAvailable;  ///< workers wait here

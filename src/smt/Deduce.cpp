@@ -3,8 +3,32 @@
 // Part of the Morpheus reproduction, MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// ψ is generated in two layers that map onto two Z3 scopes:
+//
+//   scope 1 ("shape"): everything determined by the sketch shape alone —
+//     Φ(H) instantiated from compiled spec templates, the per-node domain
+//     axioms, the input bindings α(Ti), the hole disjunction ϕin, and the
+//     output binding α(Tout) on the root. Keyed on
+//     (Hypothesis::shapeHash, spec level); kept pushed across deduce
+//     calls and only rebuilt when the shape changes. During sketch
+//     completion every partial fill shares one shape, so the whole
+//     skeleton is asserted once per sketch instead of once per fill.
+//
+//   scope 2 ("query"): the concrete abstractions partial evaluation
+//     conjoins for subtrees that are complete under the current fill,
+//     plus the interval fast path. Pushed and popped per call.
+//
+// Node attribute variables are allocated in pre-order over table-typed
+// nodes; the allocation order is itself shape-determined, so the concrete
+// walk of scope 2 indexes the variables created by scope 1 positionally.
+//
+//===----------------------------------------------------------------------===//
 
 #include "smt/Deduce.h"
+
+#include "smt/SpecCompiler.h"
+#include "table/Hash.h"
 
 #include <chrono>
 #include <cstdio>
@@ -12,31 +36,8 @@
 #include <z3++.h>
 
 using namespace morpheus;
-
-namespace {
-
-/// Attribute variables (or constants) of one table-typed node.
-struct NodeVars {
-  z3::expr Row, Col, Group, NewCols, NewVals;
-
-  z3::expr get(TableAttr A) const {
-    switch (A) {
-    case TableAttr::Row:
-      return Row;
-    case TableAttr::Col:
-      return Col;
-    case TableAttr::Group:
-      return Group;
-    case TableAttr::NewCols:
-      return NewCols;
-    case TableAttr::NewVals:
-      return NewVals;
-    }
-    return Row;
-  }
-};
-
-} // namespace
+using hashing::hashString;
+using hashing::mix64;
 
 struct DeductionEngine::Impl {
   z3::context Ctx;
@@ -44,12 +45,24 @@ struct DeductionEngine::Impl {
   /// z3::solver costs ~8ms of setup, push/pop ~0.3ms (measured on this
   /// image); deduce is called thousands of times per task.
   z3::solver Solver{Ctx};
-  std::vector<Table> Inputs;
-  Table Output;
-  ExampleBase Base;
-  std::vector<AttrValues> InputAbs;
-  AttrValues OutputAbs;
+  std::shared_ptr<const ExampleContext> Ex;
+  SpecCompiler Compiler{Ctx};
+  std::shared_ptr<RefutationStore> Store;
   unsigned NextVar = 0;
+
+  /// The open shape session: scope 1 holds the skeleton of SessionKey's
+  /// sketch shape, and Vars are its per-node attribute variables in
+  /// pre-order. Invalidated (popped and rebuilt) when a different shape
+  /// arrives.
+  bool SessionOpen = false;
+  uint64_t SessionKey = 0;
+  std::vector<NodeVars> Vars;
+  size_t ConcreteIdx = 0; ///< pre-order cursor of the scope-2 walk
+
+  /// ϕin compiled once per engine: the hole-must-be-an-input disjunction
+  /// over a placeholder node, instantiated per TblHole by substitution.
+  z3::expr HoleTemplate;
+  z3::expr_vector HoleParams;
 
   /// Memoized partial evaluation, keyed on node identity (trees are
   /// immutable and structurally shared, so a node pointer determines the
@@ -67,7 +80,7 @@ struct DeductionEngine::Impl {
     auto It = AbsCache.find(Fp);
     if (It != AbsCache.end())
       return It->second;
-    return AbsCache.emplace(Fp, abstractTable(T, Base)).first->second;
+    return AbsCache.emplace(Fp, abstractTable(T, Ex->Base)).first->second;
   }
 
   /// Memoized DEDUCE verdicts. The SMT query is fully determined by the
@@ -132,8 +145,8 @@ struct DeductionEngine::Impl {
     std::optional<Table> Result;
     switch (H->kind()) {
     case Hypothesis::Kind::Input:
-      if (H->inputIndex() < Inputs.size())
-        Result = Inputs[H->inputIndex()];
+      if (H->inputIndex() < Ex->Inputs.size())
+        Result = Ex->Inputs[H->inputIndex()];
       break;
     case Hypothesis::Kind::Apply: {
       std::vector<Table> TableArgs;
@@ -165,17 +178,25 @@ struct DeductionEngine::Impl {
     return EvalCache.emplace(H.get(), std::move(Result)).first->second;
   }
 
-  Impl(const std::vector<Table> &Inputs, const Table &Output)
-      : Inputs(Inputs), Output(Output),
-        Base(ExampleBase::fromInputs(Inputs)) {
-    for (const Table &T : Inputs) {
-      AttrValues A = abstractTable(T, Base);
-      // Per Appendix A: inputs have group 1 and no new names/values by
-      // definition of the base sets.
-      A.Group = 1;
-      InputAbs.push_back(A);
+  explicit Impl(std::shared_ptr<const ExampleContext> ExIn)
+      : Ex(std::move(ExIn)), HoleTemplate(Ctx), HoleParams(Ctx) {
+    // Compile ϕin once: a hole must be instantiated with one of the
+    // inputs, i.e. carry some input's concrete (row, col) and the input
+    // defaults group = 1, newCols = newVals = 0.
+    auto Var = [&](const char *Name) { return Ctx.int_const(Name); };
+    NodeVars Hole{Var("$h_r"), Var("$h_c"), Var("$h_g"), Var("$h_nc"),
+                  Var("$h_nv")};
+    z3::expr_vector Disj(Ctx);
+    for (const AttrValues &A : Ex->InputAbs) {
+      Disj.push_back(Hole.Row == Ctx.int_val(int64_t(A.Row)) &&
+                     Hole.Col == Ctx.int_val(int64_t(A.Col)) &&
+                     Hole.NewCols == 0 && Hole.NewVals == 0 &&
+                     Hole.Group == 1);
     }
-    OutputAbs = abstractTable(Output, Base);
+    HoleTemplate = z3::mk_or(Disj);
+    for (TableAttr A : {TableAttr::Row, TableAttr::Col, TableAttr::Group,
+                        TableAttr::NewCols, TableAttr::NewVals})
+      HoleParams.push_back(Hole.get(A));
   }
 
   z3::expr freshVar(const char *Prefix) {
@@ -188,19 +209,6 @@ struct DeductionEngine::Impl {
             freshVar("nv")};
   }
 
-  /// Domain axioms: attributes are nonnegative, a table has at least one
-  /// column and one group, every new column name is also a new value
-  /// (headers are members of the value set Sc), and new column names are
-  /// column names.
-  void addAxioms(z3::solver &S, const NodeVars &N) {
-    S.add(N.Row >= 0);
-    S.add(N.Col >= 1);
-    S.add(N.Group >= 1);
-    S.add(N.NewCols >= 0);
-    S.add(N.NewVals >= N.NewCols);
-    S.add(N.NewCols <= N.Col);
-  }
-
   /// Binds the concrete (non-group) attributes of \p N to \p A.
   void bindConcrete(z3::solver &S, const NodeVars &N, const AttrValues &A) {
     S.add(N.Row == Ctx.int_val(int64_t(A.Row)));
@@ -209,182 +217,121 @@ struct DeductionEngine::Impl {
     S.add(N.NewVals == Ctx.int_val(int64_t(A.NewVals)));
   }
 
-  z3::expr compileExpr(const SpecExpr &E, const std::vector<NodeVars> &Args,
-                       const NodeVars &Result) {
-    switch (E.K) {
-    case SpecExpr::Kind::Const:
-      return Ctx.int_val(int64_t(E.ConstVal));
-    case SpecExpr::Kind::Attr: {
-      const NodeVars &N =
-          E.ArgIndex < 0 ? Result : Args[size_t(E.ArgIndex)];
-      return N.get(E.Attr);
-    }
-    case SpecExpr::Kind::Add:
-      return compileExpr(*E.Lhs, Args, Result) +
-             compileExpr(*E.Rhs, Args, Result);
-    case SpecExpr::Kind::Sub:
-      return compileExpr(*E.Lhs, Args, Result) -
-             compileExpr(*E.Rhs, Args, Result);
-    case SpecExpr::Kind::Min: {
-      z3::expr L = compileExpr(*E.Lhs, Args, Result);
-      z3::expr R = compileExpr(*E.Rhs, Args, Result);
-      return z3::ite(L <= R, L, R);
-    }
-    case SpecExpr::Kind::Max: {
-      z3::expr L = compileExpr(*E.Lhs, Args, Result);
-      z3::expr R = compileExpr(*E.Rhs, Args, Result);
-      return z3::ite(L >= R, L, R);
-    }
-    }
-    return Ctx.int_val(0);
-  }
-
-  void compileFormula(z3::solver &S, const SpecFormula &F,
-                      const std::vector<NodeVars> &Args,
-                      const NodeVars &Result) {
-    for (const SpecAtom &A : F.Atoms) {
-      z3::expr L = compileExpr(*A.Lhs, Args, Result);
-      z3::expr R = compileExpr(*A.Rhs, Args, Result);
-      switch (A.Op) {
-      case SpecCmp::EQ:
-        S.add(L == R);
-        break;
-      case SpecCmp::LT:
-        S.add(L < R);
-        break;
-      case SpecCmp::LE:
-        S.add(L <= R);
-        break;
-      case SpecCmp::GT:
-        S.add(L > R);
-        break;
-      case SpecCmp::GE:
-        S.add(L >= R);
-        break;
-      }
-    }
-  }
-
-  /// Evaluates the non-group atoms of \p F directly on concrete attribute
-  /// values; returns false iff some evaluable atom is violated.
-  bool fastCheck(const SpecFormula &F, const std::vector<AttrValues> &Args,
-                 const AttrValues &Result) {
-    SpecFormula NoGroup;
-    for (const SpecAtom &A : F.Atoms)
-      if (!mentionsGroup(*A.Lhs) && !mentionsGroup(*A.Rhs))
-        NoGroup.Atoms.push_back(A);
-    return evalSpec(NoGroup, Args, Result);
-  }
-
-  static bool mentionsGroup(const SpecExpr &E) {
-    switch (E.K) {
-    case SpecExpr::Kind::Const:
-      return false;
-    case SpecExpr::Kind::Attr:
-      return E.Attr == TableAttr::Group;
-    default:
-      return mentionsGroup(*E.Lhs) || mentionsGroup(*E.Rhs);
-    }
-  }
-
-  /// Recursive constraint generation (Φ of Figure 12 + the bindings of
-  /// Algorithm 2). Returns the node's variables, plus the node's concrete
-  /// abstraction when partial evaluation produced one. Sets \p Dead when a
-  /// complete subtree fails to evaluate or the fast path refutes a node.
-  struct GenResult {
-    NodeVars Vars;
-    std::optional<AttrValues> Concrete;
-  };
-
-  GenResult gen(z3::solver &S, const HypPtr &H, SpecLevel Level,
-                bool UsePartialEval, bool FastPath, bool &Dead,
-                uint64_t &FastRejects) {
+  /// Scope-1 generation: asserts the shape-determined skeleton of \p H
+  /// (axioms, ϕin, input bindings, instantiated spec templates) and
+  /// appends the node's variables to Vars in pre-order. Returns the
+  /// node's index into Vars.
+  size_t genShape(z3::solver &S, const HypPtr &H, SpecLevel Level,
+                  DeduceStats &Stats) {
+    size_t MyIdx = Vars.size();
+    Vars.push_back(freshNode());
+    NodeVars N = Vars[MyIdx]; // Vars may reallocate during recursion
+    S.add(Compiler.axiomsFor(N));
     switch (H->kind()) {
     case Hypothesis::Kind::Input: {
-      NodeVars N = freshNode();
-      addAxioms(S, N);
-      const AttrValues &A = InputAbs[H->inputIndex()];
-      bindConcrete(S, N, A);
+      bindConcrete(S, N, Ex->InputAbs[H->inputIndex()]);
       S.add(N.Group == 1);
-      return {N, A};
+      return MyIdx;
     }
     case Hypothesis::Kind::TblHole: {
-      // ϕin: the hole must be instantiated with one of the inputs.
-      NodeVars N = freshNode();
-      addAxioms(S, N);
-      z3::expr_vector Disj(Ctx);
-      for (const AttrValues &A : InputAbs) {
-        Disj.push_back(N.Row == Ctx.int_val(int64_t(A.Row)) &&
-                       N.Col == Ctx.int_val(int64_t(A.Col)) &&
-                       N.NewCols == 0 && N.NewVals == 0 && N.Group == 1);
-      }
-      S.add(z3::mk_or(Disj));
-      return {N, std::nullopt};
+      z3::expr_vector Dst(Ctx);
+      for (TableAttr A : {TableAttr::Row, TableAttr::Col, TableAttr::Group,
+                          TableAttr::NewCols, TableAttr::NewVals})
+        Dst.push_back(N.get(A));
+      S.add(HoleTemplate.substitute(HoleParams, Dst));
+      return MyIdx;
     }
     case Hypothesis::Kind::Apply: {
-      NodeVars N = freshNode();
-      addAxioms(S, N);
       std::vector<NodeVars> ArgVars;
-      std::vector<std::optional<AttrValues>> ArgConcrete;
       for (const HypPtr &C : H->children()) {
         if (!C->isTableTyped())
           continue;
-        GenResult R =
-            gen(S, C, Level, UsePartialEval, FastPath, Dead, FastRejects);
-        if (Dead)
-          return {N, std::nullopt};
-        ArgVars.push_back(R.Vars);
-        ArgConcrete.push_back(R.Concrete);
+        ArgVars.push_back(Vars[genShape(S, C, Level, Stats)]);
       }
-      const SpecFormula &Spec = H->component()->spec(Level);
-      compileFormula(S, Spec, ArgVars, N);
-
-      std::optional<AttrValues> Concrete;
-      if (UsePartialEval) {
-        const std::optional<Table> &T = evalCached(H);
-        bool Complete =
-            H->numTblHoles() == 0 && H->numValueHoles() == 0;
-        if (Complete && !T) {
-          Dead = true; // a component rejected its concrete arguments
-          return {N, std::nullopt};
-        }
-        if (T) {
-          const AttrValues &A = absCached(*T);
-          bindConcrete(S, N, A);
-          Concrete = A;
-          // Concrete fast path: all table children concrete too -> check
-          // the spec's non-group atoms directly.
-          if (FastPath) {
-            bool AllArgs = true;
-            std::vector<AttrValues> Args;
-            for (const auto &AC : ArgConcrete) {
-              if (!AC)
-                AllArgs = false;
-              else
-                Args.push_back(*AC);
-            }
-            if (AllArgs && !fastCheck(Spec, Args, A)) {
-              ++FastRejects;
-              Dead = true;
-              return {N, Concrete};
-            }
-          }
-        }
-      }
-      return {N, Concrete};
+      const SpecTemplate &T = Compiler.get(H->component(), Level);
+      if (!T.Trivial)
+        S.add(T.instantiate(ArgVars, Vars[MyIdx]));
+      return MyIdx;
     }
     case Hypothesis::Kind::ValueHole:
     case Hypothesis::Kind::Filled:
       break;
     }
     assert(false && "table-typed node expected");
-    return {freshNode(), std::nullopt};
+    return MyIdx;
+  }
+
+  /// Scope-2 generation: walks \p H in the same pre-order as genShape,
+  /// binding the concrete abstraction of every subtree partial evaluation
+  /// can evaluate, and running the interval fast path. Sets \p Dead when
+  /// a complete subtree fails to evaluate or the fast path refutes a
+  /// node. Returns the node's concrete abstraction when known.
+  std::optional<AttrValues> genConcrete(z3::solver &S, const HypPtr &H,
+                                        SpecLevel Level, bool UsePartialEval,
+                                        bool FastPath, bool &Dead,
+                                        uint64_t &FastRejects) {
+    size_t MyIdx = ConcreteIdx++;
+    switch (H->kind()) {
+    case Hypothesis::Kind::Input:
+      return Ex->InputAbs[H->inputIndex()];
+    case Hypothesis::Kind::TblHole:
+      return std::nullopt;
+    case Hypothesis::Kind::Apply: {
+      std::vector<std::optional<AttrValues>> ArgConcrete;
+      for (const HypPtr &C : H->children()) {
+        if (!C->isTableTyped())
+          continue;
+        ArgConcrete.push_back(genConcrete(S, C, Level, UsePartialEval,
+                                          FastPath, Dead, FastRejects));
+        if (Dead)
+          return std::nullopt;
+      }
+      if (!UsePartialEval)
+        return std::nullopt;
+      const std::optional<Table> &T = evalCached(H);
+      bool Complete = H->numTblHoles() == 0 && H->numValueHoles() == 0;
+      if (Complete && !T) {
+        Dead = true; // a component rejected its concrete arguments
+        return std::nullopt;
+      }
+      if (!T)
+        return std::nullopt;
+      const AttrValues &A = absCached(*T);
+      bindConcrete(S, Vars[MyIdx], A);
+      // Concrete fast path: all table children concrete too -> check the
+      // spec's non-group atoms directly before any Z3 work.
+      if (FastPath) {
+        bool AllArgs = true;
+        std::vector<AttrValues> Args;
+        for (const auto &AC : ArgConcrete) {
+          if (!AC)
+            AllArgs = false;
+          else
+            Args.push_back(*AC);
+        }
+        const SpecTemplate &Tpl = Compiler.get(H->component(), Level);
+        if (AllArgs && !evalSpec(Tpl.NonGroup, Args, A)) {
+          ++FastRejects;
+          Dead = true;
+        }
+      }
+      return A;
+    }
+    case Hypothesis::Kind::ValueHole:
+    case Hypothesis::Kind::Filled:
+      break;
+    }
+    assert(false && "table-typed node expected");
+    return std::nullopt;
   }
 };
 
+DeductionEngine::DeductionEngine(std::shared_ptr<const ExampleContext> Ex)
+    : P(std::make_unique<Impl>(std::move(Ex))) {}
+
 DeductionEngine::DeductionEngine(const std::vector<Table> &Inputs,
                                  const Table &Output)
-    : P(std::make_unique<Impl>(Inputs, Output)) {}
+    : DeductionEngine(ExampleContext::make(Inputs, Output)) {}
 
 DeductionEngine::~DeductionEngine() = default;
 
@@ -395,6 +342,15 @@ const std::optional<Table> &DeductionEngine::evaluateCached(const HypPtr &H) {
 void DeductionEngine::clearEvalCache() {
   P->EvalCache.clear();
   P->KeepAlive.clear();
+}
+
+void DeductionEngine::setRefutationStore(std::shared_ptr<RefutationStore> S) {
+  P->Store = std::move(S);
+}
+
+const std::shared_ptr<const ExampleContext> &
+DeductionEngine::exampleContext() const {
+  return P->Ex;
 }
 
 bool DeductionEngine::deduce(const HypPtr &H, SpecLevel Level,
@@ -417,28 +373,73 @@ bool DeductionEngine::deduce(const HypPtr &H, SpecLevel Level,
     return Result;
   }
 
+  // The cross-engine store: the query hash folds the canonical sketch
+  // shape with the full signature (level + concrete abstractions), so an
+  // entry is exactly one ψ over this store's example.
+  uint64_t QueryHash = 0;
+  if (P->Store) {
+    QueryHash = mix64(H->shapeHash() ^ hashString(Key));
+    if (P->Store->isRefuted(QueryHash)) {
+      ++Stats.StoreHits;
+      ++Stats.Rejections;
+      P->VerdictCache.emplace(std::move(Key), false);
+      Stats.SolverSeconds += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - Start)
+                                 .count();
+      return false;
+    }
+  }
+
   bool Dead = false;
   bool Result = true;
   {
-    // Re-using variable names across calls lets the context cache the
-    // symbol and AST objects instead of growing without bound.
-    P->NextVar = 0;
     z3::solver &S = P->Solver;
+    uint64_t SessionKey =
+        mix64(H->shapeHash() ^
+              (Level == SpecLevel::Spec1 ? 0x5370656331ULL : 0x5370656332ULL));
+    if (!P->SessionOpen || P->SessionKey != SessionKey) {
+      if (P->SessionOpen) {
+        S.pop();
+        ++Stats.SolverPops;
+      }
+      // Re-using variable names across sessions lets the context cache
+      // the symbol and AST objects instead of growing without bound.
+      P->NextVar = 0;
+      P->Vars.clear();
+      S.push();
+      ++Stats.SolverPushes;
+      size_t Root = P->genShape(S, H, Level, Stats);
+      // ϕout ∧ α(Tout)[y/x]: the root must match the output table; its
+      // group is a fresh positive variable (Appendix A).
+      P->bindConcrete(S, P->Vars[Root], P->Ex->OutputAbs);
+      P->SessionOpen = true;
+      P->SessionKey = SessionKey;
+      ++Stats.SessionBuilds;
+    } else {
+      ++Stats.SessionHits;
+    }
+
     S.push();
-    Impl::GenResult Root =
-        P->gen(S, H, Level, UsePartialEval, FastPath, Dead,
-               Stats.FastPathRejections);
+    ++Stats.SolverPushes;
+    P->ConcreteIdx = 0;
+    P->genConcrete(S, H, Level, UsePartialEval, FastPath, Dead,
+                   Stats.FastPathRejections);
     if (Dead) {
       Result = false;
     } else {
-      // ϕout ∧ α(Tout)[y/x]: the root must match the output table; its
-      // group is a fresh positive variable (Appendix A).
-      P->bindConcrete(S, Root.Vars, P->OutputAbs);
+      ++Stats.SolverChecks;
       Result = S.check() != z3::unsat;
     }
     S.pop();
+    ++Stats.SolverPops;
+  }
+  if (!Result && P->Store) {
+    P->Store->recordRefuted(QueryHash);
+    ++Stats.StoreInserts;
   }
   P->VerdictCache.emplace(std::move(Key), Result);
+  Stats.TemplateCompiles = P->Compiler.compilations();
+  Stats.TemplateHits = P->Compiler.hits();
   auto End = std::chrono::steady_clock::now();
   Stats.SolverSeconds +=
       std::chrono::duration<double>(End - Start).count();

@@ -22,12 +22,27 @@
 /// partially filled sketch of Example 12 without filling the remaining
 /// holes.
 ///
+/// The engine is a thin *session* over the three-tier deduction substrate:
+///  - tier 1, compiled spec templates (smt/SpecCompiler.h): each
+///    component's SpecFormula is encoded to Z3 once per engine and
+///    instantiated by substitution;
+///  - tier 2, incremental shape sessions: ψ splits into a shape-determined
+///    part (Φ(H), axioms, ϕin, ϕout — identical for every partial fill of
+///    one sketch) kept in an outer push/pop scope keyed on
+///    Hypothesis::shapeHash, and a per-call part (the concrete
+///    abstractions partial evaluation conjoins) asserted in an inner
+///    scope, so sibling fills of one sketch reuse the solver state;
+///  - tier 3, the cross-engine RefutationStore (smt/RefutationStore.h):
+///    ⊥ verdicts are consulted before and published after every solver
+///    call, shared across portfolio members and service workers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MORPHEUS_SMT_DEDUCE_H
 #define MORPHEUS_SMT_DEDUCE_H
 
 #include "lang/Hypothesis.h"
+#include "smt/RefutationStore.h"
 #include "spec/Abstraction.h"
 
 #include <cstdint>
@@ -38,10 +53,19 @@ namespace morpheus {
 /// Aggregate counters the evaluation harness reports (Section 9 discusses
 /// deduction time and prune rates).
 struct DeduceStats {
-  uint64_t Calls = 0;
-  uint64_t Rejections = 0;
+  uint64_t Calls = 0;            ///< deduce() entries
+  uint64_t Rejections = 0;       ///< verdicts that refuted the hypothesis
   uint64_t FastPathRejections = 0;
-  uint64_t CacheHits = 0;
+  uint64_t CacheHits = 0;        ///< per-engine verdict-cache hits
+  uint64_t SolverChecks = 0;     ///< actual Z3 check() invocations
+  uint64_t TemplateCompiles = 0; ///< spec formulas compiled to templates
+  uint64_t TemplateHits = 0;     ///< template instantiations from cache
+  uint64_t SessionBuilds = 0;    ///< shape scopes built from scratch
+  uint64_t SessionHits = 0;      ///< calls that reused the open shape scope
+  uint64_t StoreHits = 0;        ///< refutations served by the shared store
+  uint64_t StoreInserts = 0;     ///< refutations published to the store
+  uint64_t SolverPushes = 0;     ///< Z3 push() calls (shape + query scopes)
+  uint64_t SolverPops = 0;       ///< Z3 pop() calls
   double SolverSeconds = 0;
 
   DeduceStats &operator+=(const DeduceStats &O) {
@@ -49,17 +73,29 @@ struct DeduceStats {
     Rejections += O.Rejections;
     FastPathRejections += O.FastPathRejections;
     CacheHits += O.CacheHits;
+    SolverChecks += O.SolverChecks;
+    TemplateCompiles += O.TemplateCompiles;
+    TemplateHits += O.TemplateHits;
+    SessionBuilds += O.SessionBuilds;
+    SessionHits += O.SessionHits;
+    StoreHits += O.StoreHits;
+    StoreInserts += O.StoreInserts;
+    SolverPushes += O.SolverPushes;
+    SolverPops += O.SolverPops;
     SolverSeconds += O.SolverSeconds;
     return *this;
   }
 };
 
 /// SMT-based deduction engine. Not thread-safe; use one engine per search
-/// thread (Z3 contexts are not shared).
+/// thread (Z3 contexts are not shared). The ExampleContext and the
+/// RefutationStore it is wired to ARE shared across engines.
 class DeductionEngine {
 public:
-  /// \p Inputs / \p Output are the example E; the engine precomputes their
-  /// abstractions once.
+  /// Preferred constructor: \p Ex carries the example and its precomputed
+  /// abstractions, shared across every engine solving the same example.
+  explicit DeductionEngine(std::shared_ptr<const ExampleContext> Ex);
+  /// Convenience: builds a private ExampleContext from the raw example.
   DeductionEngine(const std::vector<Table> &Inputs, const Table &Output);
   ~DeductionEngine();
 
@@ -89,6 +125,14 @@ public:
   /// component spec is evaluated directly on integers before falling back
   /// to Z3. Purely an optimization; used by the ablation benchmark.
   void setIntervalFastPath(bool Enable) { FastPath = Enable; }
+
+  /// Wires this engine to a shared refutation store: ⊥ verdicts of other
+  /// engines over the SAME example short-circuit deduce here, and this
+  /// engine's ⊥ verdicts are published back. The caller is responsible
+  /// for scoping: a store must never be shared across different examples.
+  void setRefutationStore(std::shared_ptr<RefutationStore> S);
+
+  const std::shared_ptr<const ExampleContext> &exampleContext() const;
 
   const DeduceStats &stats() const { return Stats; }
 

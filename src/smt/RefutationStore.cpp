@@ -1,0 +1,103 @@
+//===- smt/RefutationStore.cpp - Cross-engine refutation sharing --------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/RefutationStore.h"
+
+#include <unordered_map>
+
+using namespace morpheus;
+
+namespace {
+
+/// Default per-store entry cap: 1M keys is ~48MB of unordered_set at the
+/// default load factor — generous for one example's refutation universe
+/// (a full suite task records thousands to low millions).
+constexpr size_t DefaultMaxEntries = 1 << 20;
+
+/// Registry cap: examples an operator's process plausibly touches. Past
+/// it the whole registry is flushed (epoch eviction) — simpler than LRU
+/// and the stores are caches, not state.
+constexpr size_t MaxProcessExamples = 256;
+
+struct ProcessRegistry {
+  std::mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> Stores;
+};
+
+ProcessRegistry &processRegistry() {
+  // Leaked on purpose (like Engine::shared()): stores may be referenced
+  // by engines still winding down at process exit.
+  static ProcessRegistry *R = new ProcessRegistry();
+  return *R;
+}
+
+} // namespace
+
+RefutationStore::RefutationStore(size_t MaxEntries)
+    : MaxEntries(MaxEntries ? MaxEntries : DefaultMaxEntries) {}
+
+bool RefutationStore::isRefuted(uint64_t QueryHash) const {
+  Shard &S = shardFor(QueryHash);
+  bool Found;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Found = S.Keys.count(QueryHash) != 0;
+  }
+  (Found ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
+  return Found;
+}
+
+void RefutationStore::recordRefuted(uint64_t QueryHash) {
+  Shard &S = shardFor(QueryHash);
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Keys.size() >= MaxEntries / NumShards)
+    return; // best-effort: full shard drops the fact, never corrupts it
+  if (S.Keys.insert(QueryHash).second)
+    Inserts.fetch_add(1, std::memory_order_relaxed);
+}
+
+RefutationStore::Stats RefutationStore::stats() const {
+  Stats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Inserts = Inserts.load(std::memory_order_relaxed);
+  Out.Entries = size();
+  return Out;
+}
+
+size_t RefutationStore::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Keys.size();
+  }
+  return N;
+}
+
+std::shared_ptr<RefutationStore>
+RefutationStore::forExample(uint64_t ExampleFp) {
+  ProcessRegistry &R = processRegistry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  auto It = R.Stores.find(ExampleFp);
+  if (It != R.Stores.end())
+    return It->second;
+  if (R.Stores.size() >= MaxProcessExamples)
+    R.Stores.clear(); // epoch flush; live engines keep their shared_ptrs
+  return R.Stores.emplace(ExampleFp, std::make_shared<RefutationStore>())
+      .first->second;
+}
+
+size_t RefutationStore::processScopeCount() {
+  ProcessRegistry &R = processRegistry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Stores.size();
+}
+
+void RefutationStore::clearProcessScope() {
+  ProcessRegistry &R = processRegistry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Stores.clear();
+}

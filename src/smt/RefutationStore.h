@@ -1,0 +1,107 @@
+//===- smt/RefutationStore.h - Cross-engine refutation sharing --*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tier 3 of the deduction substrate: a concurrent store of DEDUCE
+/// refutations (⊥ verdicts) shared across engines — portfolio members,
+/// SynthService workers, repeated solves of the same example.
+///
+/// Soundness of sharing: a DEDUCE verdict is a pure function of
+///  - the *query key* — the hypothesis's canonical sketch shape (component
+///    tree, input-leaf indices, hole positions; Hypothesis::shapeHash),
+///    the spec level, and the concrete abstractions partial evaluation
+///    conjoined (for a pure sketch there are none that are not themselves
+///    shape-determined), and
+///  - the *example* — the input tables (they fix ϕin, the base sets behind
+///    α, and every partial-evaluation result) and the output table (ϕout).
+///
+/// A store instance is scoped to ONE example (per-solve, or fetched from
+/// the process-wide registry keyed by the example fingerprint), so entries
+/// are keyed on the 64-bit query hash alone. Search-budget knobs (timeout,
+/// component bounds, thread count) do not enter the key: they change how
+/// much of the space is explored, never a verdict — which is exactly why
+/// jobs with different budgets can share a store.
+///
+/// Only refutations are stored: UNSAT is the expensive, reusable fact (it
+/// prunes and it spares a solver call); SAT merely lets the search
+/// continue and is re-derived cheaply by the per-engine verdict cache.
+/// The store is best-effort: a capacity cap drops inserts past the bound,
+/// which costs speed, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SMT_REFUTATIONSTORE_H
+#define MORPHEUS_SMT_REFUTATIONSTORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace morpheus {
+
+/// Concurrent refutation set. Every method may be called from any thread.
+class RefutationStore {
+public:
+  /// \p MaxEntries bounds memory (8B/key + set overhead); inserts past the
+  /// bound are dropped. 0 means the default cap.
+  explicit RefutationStore(size_t MaxEntries = 0);
+
+  RefutationStore(const RefutationStore &) = delete;
+  RefutationStore &operator=(const RefutationStore &) = delete;
+
+  /// True iff \p QueryHash was recorded as refuted. Counts a hit or miss.
+  bool isRefuted(uint64_t QueryHash) const;
+
+  /// Records a ⊥ verdict for \p QueryHash (dropped past the capacity cap).
+  void recordRefuted(uint64_t QueryHash);
+
+  /// Monotonic counters since construction.
+  struct Stats {
+    uint64_t Hits = 0;    ///< isRefuted() returned true
+    uint64_t Misses = 0;  ///< isRefuted() returned false
+    uint64_t Inserts = 0; ///< recordRefuted() stored a new key
+    uint64_t Entries = 0; ///< keys currently stored
+  };
+  Stats stats() const;
+  size_t size() const;
+
+  /// The process-wide store for the example fingerprinted \p ExampleFp
+  /// (spec/Abstraction.h exampleFingerprint), created on first use. The
+  /// registry is bounded; past the bound it is flushed wholesale — a
+  /// cache-policy event, invisible to correctness.
+  static std::shared_ptr<RefutationStore> forExample(uint64_t ExampleFp);
+
+  /// Number of examples currently in the process-wide registry.
+  static size_t processScopeCount();
+
+  /// Empties the process-wide registry (benchmarks establishing a cold
+  /// baseline; tests isolating runs).
+  static void clearProcessScope();
+
+private:
+  /// Sharded to keep portfolio members off each other's locks: deduce is
+  /// called thousands of times per second per member.
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_set<uint64_t> Keys;
+  };
+  Shard Shards[NumShards];
+  size_t MaxEntries;
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0};
+
+  Shard &shardFor(uint64_t Key) const {
+    // The low bits index buckets inside the set; take high bits here so
+    // shard choice and bucket choice stay independent.
+    return const_cast<Shard &>(Shards[(Key >> 58) & (NumShards - 1)]);
+  }
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SMT_REFUTATIONSTORE_H

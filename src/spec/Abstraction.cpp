@@ -6,6 +6,8 @@
 
 #include "spec/Abstraction.h"
 
+#include "table/Hash.h"
+
 using namespace morpheus;
 
 ExampleBase ExampleBase::fromInputs(const std::vector<Table> &Inputs) {
@@ -29,4 +31,33 @@ AttrValues morpheus::abstractTable(const Table &T, const ExampleBase &Base) {
   A.NewCols = int64_t(countNotIn(headerTokens(T), Base.Values));
   A.NewVals = int64_t(countNotIn(valueTokens(T), Base.Values));
   return A;
+}
+
+uint64_t morpheus::exampleFingerprint(const std::vector<Table> &Inputs,
+                                      const Table &Output) {
+  using hashing::fold;
+  uint64_t H = 0x4578616d706c6546ULL; // "ExampleF"
+  H = fold(H, uint64_t(Inputs.size()));
+  for (const Table &In : Inputs)
+    H = fold(H, In.fingerprint());
+  return fold(H, Output.fingerprint());
+}
+
+std::shared_ptr<const ExampleContext>
+ExampleContext::make(std::vector<Table> Inputs, Table Output) {
+  auto Ex = std::make_shared<ExampleContext>();
+  Ex->Inputs = std::move(Inputs);
+  Ex->Output = std::move(Output);
+  Ex->Base = ExampleBase::fromInputs(Ex->Inputs);
+  Ex->InputAbs.reserve(Ex->Inputs.size());
+  for (const Table &T : Ex->Inputs) {
+    AttrValues A = abstractTable(T, Ex->Base);
+    // Per Appendix A: inputs have group 1 and no new names/values by
+    // definition of the base sets.
+    A.Group = 1;
+    Ex->InputAbs.push_back(A);
+  }
+  Ex->OutputAbs = abstractTable(Ex->Output, Ex->Base);
+  Ex->Fingerprint = exampleFingerprint(Ex->Inputs, Ex->Output);
+  return Ex;
 }

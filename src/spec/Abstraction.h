@@ -25,6 +25,7 @@
 #include "lang/Spec.h"
 #include "table/TableUtils.h"
 
+#include <memory>
 #include <vector>
 
 namespace morpheus {
@@ -42,6 +43,31 @@ struct ExampleBase {
 /// The returned Group field is set to 1 and must only be used for input
 /// tables (see file comment).
 AttrValues abstractTable(const Table &T, const ExampleBase &Base);
+
+/// 64-bit content fingerprint of one example E = (Inputs, Output): an
+/// order-sensitive fold of the tables' fingerprints (input position is
+/// observable through program variables). This is the scope key of the
+/// cross-engine RefutationStore — everything a DEDUCE verdict depends on
+/// beyond the query itself is a function of the example, nothing else.
+uint64_t exampleFingerprint(const std::vector<Table> &Inputs,
+                            const Table &Output);
+
+/// Everything about one example that deduction precomputes: the base
+/// sets, the abstractions α(Ti) of every input (with group pinned to 1
+/// per Appendix A), and α(Tout). Immutable once built, so one context is
+/// shared by every portfolio member / search thread solving the example
+/// instead of each DeductionEngine recomputing α N times per solve.
+struct ExampleContext {
+  std::vector<Table> Inputs;
+  Table Output;
+  ExampleBase Base;
+  std::vector<AttrValues> InputAbs;
+  AttrValues OutputAbs;
+  uint64_t Fingerprint = 0; ///< exampleFingerprint(Inputs, Output)
+
+  static std::shared_ptr<const ExampleContext>
+  make(std::vector<Table> Inputs, Table Output);
+};
 
 } // namespace morpheus
 

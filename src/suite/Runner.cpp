@@ -31,7 +31,14 @@ runSuiteWith(const std::vector<BenchmarkTask> &Suite,
       const TaskResult &R = Results.back();
       (*Progress) << "  " << R.TaskId << ": "
                   << (R.Solved ? "solved" : "TIMEOUT/FAIL") << " in "
-                  << R.Seconds << "s\n";
+                  << R.Seconds << "s";
+      // Engine seconds sum across portfolio members (compute spent);
+      // shown when they visibly exceed the wall clock so N-member rows
+      // cannot be misread as >N× real time.
+      if (R.Stats.ElapsedSeconds > 1.5 * R.Seconds &&
+          R.Stats.ElapsedSeconds - R.Seconds > 0.05)
+        (*Progress) << " (engine " << R.Stats.ElapsedSeconds << "s summed)";
+      (*Progress) << "\n";
       Progress->flush();
     }
   }

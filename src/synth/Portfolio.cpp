@@ -49,6 +49,19 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
                                  CancellationToken Cancel) {
   auto Start = std::chrono::steady_clock::now();
 
+  // One example context for every member: α(Ti)/α(Tout) and the base sets
+  // are computed once here instead of once per size class. Likewise ONE
+  // refutation store (resolved from the first variant's sharing mode):
+  // when a member refutes a sketch shape, its siblings — and, under
+  // process-wide sharing, later solves of the same example — skip the
+  // solver call entirely.
+  std::shared_ptr<const ExampleContext> Ex =
+      ExampleContext::make(Inputs, Output);
+  std::shared_ptr<RefutationStore> SharedStore =
+      Variants.empty() ? nullptr
+                       : resolveRefutationStore(Variants.front(),
+                                                Ex->Fingerprint);
+
   // The portfolio's wall clock never exceeds the largest member budget:
   // with fewer pool threads than members, later members would otherwise
   // cascade past it, so each member's timeout is clamped to the global
@@ -96,8 +109,10 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
       Cfg.Timeout = std::min(
           std::chrono::duration_cast<std::chrono::milliseconds>(Cfg.Timeout),
           Remaining);
+      if (!Cfg.Refutations)
+        Cfg.Refutations = SharedStore;
       Synthesizer S(Lib, Cfg);
-      SynthesisResult R = S.synthesize(Inputs, Output);
+      SynthesisResult R = S.synthesize(Ex);
       if (R.Program) {
         // First solution wins; later finishers keep their report but the
         // portfolio returns the winner's program.
@@ -134,17 +149,21 @@ PortfolioSynthesizer::synthesize(const std::vector<Table> &Inputs,
     W.Stats = Results[I].Stats;
     Out.Workers.push_back(std::move(W));
   }
+  // Out.Stats is the FLEET total, solved or not: counters and
+  // ElapsedSeconds sum over every member (losing siblings burn real
+  // solver time — up to N× wall clock, which is the point: it is compute
+  // spent, not a clock), so suite-level consumers see uniform semantics.
+  // The winner's own row stays inspectable in Workers.
+  for (const SynthesisResult &R : Results)
+    Out.Stats += R.Stats;
   if (Out.WinnerIndex >= 0) {
     Out.Program = Results[size_t(Out.WinnerIndex)].Program;
-    Out.Stats = Results[size_t(Out.WinnerIndex)].Stats;
-  } else {
-    // Unsolved: aggregate the members' counters so suite-level consumers
-    // (prune rates, solver seconds, timeout flags) still see real work.
-    for (const SynthesisResult &R : Results)
-      Out.Stats += R.Stats;
+    // Losing members report their cancellation as a timeout; the flag on
+    // the aggregate describes the portfolio's outcome, not member fates.
+    Out.Stats.TimedOut = false;
   }
-  // One time base regardless of outcome: the portfolio's wall clock.
-  Out.Stats.ElapsedSeconds = Out.ElapsedSeconds;
+  // The clock consumers can trust regardless of outcome or member count.
+  Out.Stats.WallSeconds = Out.ElapsedSeconds;
   if (!Out.Program && DeadlineSkipped.load(std::memory_order_relaxed))
     Out.Stats.TimedOut = true;
   return Out;

@@ -39,11 +39,14 @@ struct PortfolioWorkerResult {
   SynthesisStats Stats;
 };
 
-/// Result of a portfolio run: the winning member's program and stats plus
-/// a per-member report.
+/// Result of a portfolio run: the winning member's program, fleet-total
+/// stats, and a per-member report.
 struct PortfolioResult {
   HypPtr Program; ///< null when no member solved within its budget
-  SynthesisStats Stats; ///< the winning member's stats
+  /// Counters and ElapsedSeconds summed over every member (compute
+  /// spent, up to N× wall clock); WallSeconds is the portfolio's wall
+  /// clock. Per-member rows live in Workers.
+  SynthesisStats Stats;
   int WinnerIndex = -1; ///< index into Workers; -1 when unsolved
   double ElapsedSeconds = 0; ///< wall clock of the whole portfolio
   std::vector<PortfolioWorkerResult> Workers;

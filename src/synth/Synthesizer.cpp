@@ -82,12 +82,14 @@ void collectHoles(const HypPtr &Node, std::vector<size_t> &Path,
 class SearchContext {
 public:
   SearchContext(const ComponentLibrary &Lib, const SynthesisConfig &Cfg,
-                const std::vector<Table> &Inputs, const Table &Output)
-      : Lib(Lib), Cfg(Cfg), Inputs(Inputs), Output(Output),
-        Engine(Inputs, Output), Inhab(Lib, Cfg.Inhab),
+                std::shared_ptr<const ExampleContext> ExIn)
+      : Lib(Lib), Cfg(Cfg), Ex(std::move(ExIn)), Inputs(Ex->Inputs),
+        Output(Ex->Output), Engine(Ex), Inhab(Lib, Cfg.Inhab),
         Deadline(std::chrono::steady_clock::now() + Cfg.Timeout) {
     if (Cfg.Deadline && *Cfg.Deadline < Deadline)
       Deadline = *Cfg.Deadline;
+    if (Cfg.UseDeduction && Cfg.Refutations)
+      Engine.setRefutationStore(Cfg.Refutations);
     // Warm the example's comparison caches once per search: every candidate
     // check reuses the output's fingerprint and canonical row permutation.
     OutputFingerprint = Output.fingerprint();
@@ -169,6 +171,7 @@ private:
 
   const ComponentLibrary &Lib;
   const SynthesisConfig &Cfg;
+  std::shared_ptr<const ExampleContext> Ex;
   const std::vector<Table> &Inputs;
   const Table &Output;
   uint64_t OutputFingerprint = 0;
@@ -350,6 +353,7 @@ SynthesisResult SearchContext::run() {
               std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)
                   .count();
+          Stats.WallSeconds = Stats.ElapsedSeconds;
           Stats.Deduce = Engine.stats();
           return {Solution, Stats};
         }
@@ -376,17 +380,63 @@ SynthesisResult SearchContext::run() {
   Stats.ElapsedSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - Start)
                              .count();
+  Stats.WallSeconds = Stats.ElapsedSeconds;
   Stats.Deduce = Engine.stats();
   return {nullptr, Stats};
 }
 
 } // namespace
 
+std::string_view morpheus::refutationSharingName(RefutationSharing S) {
+  switch (S) {
+  case RefutationSharing::Off:
+    return "off";
+  case RefutationSharing::PerSolve:
+    return "per-solve";
+  case RefutationSharing::ProcessWide:
+    return "process-wide";
+  }
+  return "?";
+}
+
+/// The store \p Cfg's sharing mode calls for when no store was pre-wired.
+std::shared_ptr<RefutationStore>
+morpheus::resolveRefutationStore(const SynthesisConfig &Cfg,
+                                 uint64_t ExampleFp) {
+  if (!Cfg.UseDeduction)
+    return nullptr;
+  if (Cfg.Refutations)
+    return Cfg.Refutations;
+  switch (Cfg.Sharing) {
+  case RefutationSharing::Off:
+    return nullptr;
+  case RefutationSharing::PerSolve:
+    return std::make_shared<RefutationStore>();
+  case RefutationSharing::ProcessWide:
+    return RefutationStore::forExample(ExampleFp);
+  }
+  return nullptr;
+}
+
 Synthesizer::Synthesizer(ComponentLibrary Lib, SynthesisConfig Cfg)
     : Lib(std::move(Lib)), Cfg(Cfg) {}
 
 SynthesisResult Synthesizer::synthesize(const std::vector<Table> &Inputs,
                                         const Table &Output) {
-  SearchContext Ctx(Lib, Cfg, Inputs, Output);
+  return synthesize(ExampleContext::make(Inputs, Output));
+}
+
+SynthesisResult
+Synthesizer::synthesize(std::shared_ptr<const ExampleContext> Ex) {
+  SynthesisConfig Run = Cfg;
+  // A per-solve store pays off only when several engines share it
+  // (Portfolio and SynthService pre-wire theirs); for a lone sequential
+  // engine its own verdict cache subsumes the store — every query it
+  // refuted is cached locally and never re-consulted — so attaching one
+  // would be pure hot-loop overhead. Only ProcessWide (facts outlive
+  // this solve) warrants a store here.
+  if (!Run.Refutations && Run.Sharing == RefutationSharing::ProcessWide)
+    Run.Refutations = resolveRefutationStore(Cfg, Ex->Fingerprint);
+  SearchContext Ctx(Lib, Run, std::move(Ex));
   return Ctx.run();
 }

@@ -26,10 +26,35 @@
 #include "smt/Deduce.h"
 #include "synth/Inhabitation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
+#include <string_view>
 
 namespace morpheus {
+
+/// How DEDUCE refutations are shared across engines (portfolio members,
+/// service workers, repeated solves). Sharing is *sound* — a refutation is
+/// a pure function of (query, example), never of search budgets — so the
+/// modes trade memory lifetime for reuse, not correctness (the golden
+/// parity suite asserts identical solved sets and programs across all
+/// three).
+enum class RefutationSharing {
+  Off,      ///< no store; every engine re-derives every refutation
+  PerSolve, ///< one store per top-level solve, shared by its portfolio
+            ///< members, dropped when the solve returns. A lone
+            ///< sequential engine skips the store entirely (its verdict
+            ///< cache subsumes it). Inside a SynthService the solve
+            ///< boundary widens to the service: stores are kept per
+            ///< example fingerprint for the service lifetime
+            ///< (SynthService::refutationScopeFor), so repeat jobs reuse
+            ///< them — but nothing outlives the service
+  ProcessWide ///< stores live in a process registry keyed by the example
+              ///< fingerprint and survive across solves and services
+};
+
+/// Printable name ("off" / "per-solve" / "process-wide") of \p S.
+std::string_view refutationSharingName(RefutationSharing S);
 
 /// Configuration of one synthesis run.
 struct SynthesisConfig {
@@ -85,8 +110,26 @@ struct SynthesisConfig {
   /// requested. The default-constructed token is inert (never cancels); the
   /// token shares ownership of its flag, so there is no lifetime to manage.
   CancellationToken Cancel;
+  /// Cross-engine refutation sharing (see RefutationSharing). Excluded
+  /// from the service problem fingerprint, like the thread count: it
+  /// changes solve speed, never which problems are solvable or which
+  /// program is found.
+  RefutationSharing Sharing = RefutationSharing::PerSolve;
+  /// Pre-wired refutation store; when set it wins over \c Sharing. The
+  /// portfolio uses this to hand one store to every member, the service
+  /// to scope stores by example fingerprint alongside its ResultCache.
+  /// Must be scoped to the example being solved (see RefutationStore).
+  std::shared_ptr<RefutationStore> Refutations;
   InhabitationConfig Inhab;
 };
+
+/// The store \p Cfg's sharing mode calls for: the pre-wired store when
+/// set, a fresh store for PerSolve, the process registry's store for the
+/// example under ProcessWide, null when sharing (or deduction) is off.
+/// Callers that fan one solve out across engines (Portfolio, the service)
+/// resolve once and pre-wire the result into every member config.
+std::shared_ptr<RefutationStore>
+resolveRefutationStore(const SynthesisConfig &Cfg, uint64_t ExampleFp);
 
 /// Counters reported by the evaluation harness.
 struct SynthesisStats {
@@ -98,7 +141,14 @@ struct SynthesisStats {
   uint64_t PartialFillsTried = 0;
   uint64_t CandidatesChecked = 0;    ///< complete programs run against E
   DeduceStats Deduce;
+  /// Total engine seconds. Under `+=` this SUMS — across N portfolio
+  /// members it reads as up to N× real time (CPU-seconds, not a clock).
   double ElapsedSeconds = 0;
+  /// Wall-clock seconds. Under `+=` this takes the MAX, so aggregating
+  /// concurrent runs keeps a human-meaningful duration; for a single run
+  /// it equals ElapsedSeconds. Report both: they answer different
+  /// questions (compute spent vs. time waited).
+  double WallSeconds = 0;
   bool TimedOut = false;
 
   /// Merges counters across runs (portfolio members, suite aggregation).
@@ -111,6 +161,7 @@ struct SynthesisStats {
     CandidatesChecked += O.CandidatesChecked;
     Deduce += O.Deduce;
     ElapsedSeconds += O.ElapsedSeconds;
+    WallSeconds = std::max(WallSeconds, O.WallSeconds);
     TimedOut |= O.TimedOut;
     return *this;
   }
@@ -134,6 +185,11 @@ public:
   /// timeout expires.
   SynthesisResult synthesize(const std::vector<Table> &Inputs,
                              const Table &Output);
+
+  /// As above over a prebuilt (shared) ExampleContext: portfolio members
+  /// and service workers pass one context so α(Ti)/α(Tout) and the base
+  /// sets are computed once per example instead of once per engine.
+  SynthesisResult synthesize(std::shared_ptr<const ExampleContext> Ex);
 
   const SynthesisConfig &config() const { return Cfg; }
 

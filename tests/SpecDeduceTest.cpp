@@ -191,6 +191,121 @@ TEST_P(SpecSoundness, GroundTruthSatisfiesSpecs) {
 INSTANTIATE_TEST_SUITE_P(AllTasks, SpecSoundness,
                          ::testing::Range(size_t(0), size_t(80)));
 
+/// Sketch-shape hashing: stable across value-hole filling (a fill maps to
+/// its sketch's shape — the property incremental sessions and the
+/// refutation store key on), sensitive to components and input indices.
+TEST(ShapeHash, FillInvariantAndStructureSensitive) {
+  const TableTransformer *Filter = StandardComponents::get().find("filter");
+  const TableTransformer *Select = StandardComponents::get().find("select");
+
+  HypPtr Hole = Hypothesis::apply(
+      Filter, {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::Pred)});
+  HypPtr Filled = filter(in(0), "age", ">", num(12));
+  EXPECT_EQ(Hole->shapeHash(), Filled->shapeHash());
+
+  HypPtr OtherInput = Hypothesis::apply(
+      Filter, {Hypothesis::input(1), Hypothesis::valueHole(ParamKind::Pred)});
+  EXPECT_NE(Hole->shapeHash(), OtherInput->shapeHash());
+
+  HypPtr OtherComp = Hypothesis::apply(
+      Select, {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::Cols)});
+  EXPECT_NE(Hole->shapeHash(), OtherComp->shapeHash());
+
+  HypPtr TblHole = Hypothesis::apply(
+      Filter, {Hypothesis::tblHole(), Hypothesis::valueHole(ParamKind::Pred)});
+  EXPECT_NE(Hole->shapeHash(), TblHole->shapeHash());
+
+  // Deterministic across structurally equal trees built independently.
+  EXPECT_EQ(filter(in(0), "age", ">", num(12))->shapeHash(),
+            filter(in(0), "GPA", ">", num(3))->shapeHash());
+}
+
+/// Incremental sessions: two fills of one sketch shape reuse the pushed
+/// shape scope (SessionHits), and spec templates compile once per
+/// component/level, not once per call.
+TEST(DeduceSubstrate, SessionAndTemplateReuse) {
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num}},
+                       {{num(1), str("Alice"), num(8)},
+                        {num(2), str("Bob"), num(18)},
+                        {num(3), str("Tom"), num(12)}});
+  Table Out = makeTable({{"id", CellType::Num}, {"name", CellType::Str}},
+                        {{num(2), str("Bob")}});
+  const TableTransformer *Select = StandardComponents::get().find("select");
+
+  DeductionEngine E({In}, Out);
+  // Same sketch shape, three predicate fills with distinct intermediate
+  // row counts (3, 2, 1 rows) -> distinct queries sharing one shape: one
+  // session build, two session reuses.
+  for (double Cut : {2.0, 10.0, 15.0}) {
+    HypPtr Sigma = filter(in(0), "age", ">", num(Cut));
+    HypPtr Pi = Hypothesis::apply(
+        Select, {Sigma, Hypothesis::valueHole(ParamKind::Cols)});
+    E.deduce(Pi, SpecLevel::Spec2, true);
+  }
+  const DeduceStats &S = E.stats();
+  EXPECT_EQ(S.SessionBuilds, 1u);
+  EXPECT_EQ(S.SessionHits, 2u);
+  // Templates: filter + select at both levels, compiled exactly once each.
+  EXPECT_EQ(S.TemplateCompiles, 4u);
+  EXPECT_GT(S.TemplateHits, 0u);
+  // Scopes balance: every push has its pop except the still-open session.
+  EXPECT_EQ(S.SolverPushes, S.SolverPops + 1);
+}
+
+/// Cross-engine refutation sharing: a ⊥ verdict recorded by one engine
+/// short-circuits a fresh engine over the same example — same verdict,
+/// zero additional solver checks for that query.
+TEST(DeduceSubstrate, StoreSharesRefutationsAcrossEngines) {
+  Table In = paperExample1Input();
+  Table Out = paperExample1Output();
+  const TableTransformer *Spread = StandardComponents::get().find("spread");
+  HypPtr H = Hypothesis::apply(
+      Spread, {Hypothesis::input(0), Hypothesis::valueHole(ParamKind::ColName),
+               Hypothesis::valueHole(ParamKind::ColName)});
+
+  std::shared_ptr<const ExampleContext> Ex =
+      ExampleContext::make({In}, Out);
+  std::shared_ptr<RefutationStore> Store =
+      std::make_shared<RefutationStore>();
+
+  DeductionEngine A(Ex);
+  A.setRefutationStore(Store);
+  EXPECT_FALSE(A.deduce(H, SpecLevel::Spec2, true));
+  EXPECT_EQ(A.stats().StoreInserts, 1u);
+  EXPECT_EQ(Store->size(), 1u);
+
+  DeductionEngine B(Ex);
+  B.setRefutationStore(Store);
+  EXPECT_FALSE(B.deduce(H, SpecLevel::Spec2, true));
+  EXPECT_EQ(B.stats().StoreHits, 1u);
+  EXPECT_EQ(B.stats().SolverChecks, 0u);
+
+  // SAT verdicts are NOT stored: a fresh engine re-derives them.
+  DeductionEngine C(Ex);
+  C.setRefutationStore(Store);
+  EXPECT_TRUE(C.deduce(H, SpecLevel::Spec1, true));
+  EXPECT_EQ(C.stats().StoreHits, 0u);
+  EXPECT_EQ(Store->size(), 1u);
+}
+
+/// The shared ExampleContext carries the same abstractions the engine
+/// used to compute privately (Appendix A pinning included).
+TEST(DeduceSubstrate, ExampleContextMatchesDirectAbstraction) {
+  Table In = paperExample1Input();
+  Table Out = paperExample1Output();
+  std::shared_ptr<const ExampleContext> Ex = ExampleContext::make({In}, Out);
+  ExampleBase Base = ExampleBase::fromInputs({In});
+  AttrValues Direct = abstractTable(Out, Base);
+  EXPECT_EQ(Ex->OutputAbs.Row, Direct.Row);
+  EXPECT_EQ(Ex->OutputAbs.NewCols, Direct.NewCols);
+  ASSERT_EQ(Ex->InputAbs.size(), 1u);
+  EXPECT_EQ(Ex->InputAbs[0].Group, 1);
+  EXPECT_EQ(Ex->Fingerprint, exampleFingerprint({In}, Out));
+  EXPECT_NE(Ex->Fingerprint, exampleFingerprint({Out}, In));
+}
+
 /// The spec DSL evaluator agrees with hand-computed arithmetic.
 TEST(SpecDsl, EvaluatorAndPrinting) {
   using namespace morpheus::specdsl;

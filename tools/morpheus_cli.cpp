@@ -76,6 +76,8 @@ int usage(const char *Msg = nullptr) {
       "  --spec spec1|spec2               specification family (default\n"
       "                                   spec2)\n"
       "  --no-deduction                   disable SMT deduction\n"
+      "  --sharing off|per-solve|process  refutation-store sharing across\n"
+      "                                   engines (default per-solve)\n"
       "  --library tidy|sql               component library (default tidy)\n"
       "  --quiet                          print only the program\n"
       "\n"
@@ -83,7 +85,8 @@ int usage(const char *Msg = nullptr) {
       "  --suite morpheus|sql             which suite (default morpheus)\n"
       "  --config spec2|spec1|nodeduction paper configuration (default\n"
       "                                   spec2)\n"
-      "  --strategy, --timeout, --threads as above (default timeout 5000)\n"
+      "  --strategy, --timeout, --threads,\n"
+      "  --sharing                        as above (default timeout 5000)\n"
       "  --limit N                        run only the first N tasks\n"
       "  --json PATH                      write a perf snapshot (per-task\n"
       "                                   solve times + candidate\n"
@@ -96,7 +99,7 @@ int usage(const char *Msg = nullptr) {
       "  --cache N                        result-cache entries (default 512,\n"
       "                                   0 disables)\n"
       "  --strategy, --timeout, --threads, --spec, --no-deduction,\n"
-      "  --library                        as for solve\n"
+      "  --sharing, --library             as for solve\n"
       "\n"
       "solve exit codes: 0 solved, 2 usage/input error, 3 timeout,\n"
       "4 exhausted, 5 cancelled\n");
@@ -145,6 +148,20 @@ std::optional<int> parseIntArg(const std::string &S) {
   if (S.empty() || End != S.c_str() + S.size() || V < 0)
     return std::nullopt;
   return int(V);
+}
+
+/// The one --sharing string-to-enum mapping (inverse of
+/// refutationSharingName); shared by solve/serve (engineArg) and bench.
+bool parseRefutationSharing(const std::string &V, RefutationSharing &Out) {
+  if (V == "off")
+    Out = RefutationSharing::Off;
+  else if (V == "per-solve")
+    Out = RefutationSharing::PerSolve;
+  else if (V == "process")
+    Out = RefutationSharing::ProcessWide;
+  else
+    return false;
+  return true;
 }
 
 /// The engine flags shared by `solve` and `serve` (--strategy, --timeout,
@@ -196,6 +213,15 @@ int engineArg(ArgReader &Args, const std::string &A, EngineOptions &Opts,
   }
   if (A == "--no-deduction") {
     Opts.deduction(false);
+    return 0;
+  }
+  if (A == "--sharing") {
+    if (!Args.value(A, V))
+      return 2;
+    RefutationSharing S;
+    if (!parseRefutationSharing(V, S))
+      return usage("unknown sharing mode (use off, per-solve or process)");
+    Opts.refutationSharing(S);
     return 0;
   }
   if (A == "--library") {
@@ -291,6 +317,7 @@ JsonValue benchSnapshot(const std::string &SuiteName,
   JsonValue Tasks = JsonValue::array();
   uint64_t TotalCandidates = 0;
   double TotalSeconds = 0;
+  DeduceStats TotalDeduce;
   for (const TaskResult &R : Results) {
     JsonValue T = JsonValue::object();
     T.set("id", JsonValue::string(R.TaskId));
@@ -303,9 +330,21 @@ JsonValue benchSnapshot(const std::string &SuiteName,
           JsonValue::number(R.Seconds > 0
                                 ? double(R.Stats.CandidatesChecked) / R.Seconds
                                 : 0));
+    T.set("wall_seconds", JsonValue::number(R.Stats.WallSeconds));
+    JsonValue D = JsonValue::object();
+    const DeduceStats &DS = R.Stats.Deduce;
+    D.set("calls", JsonValue::number(double(DS.Calls)));
+    D.set("solver_checks", JsonValue::number(double(DS.SolverChecks)));
+    D.set("template_hits", JsonValue::number(double(DS.TemplateHits)));
+    D.set("session_hits", JsonValue::number(double(DS.SessionHits)));
+    D.set("store_hits", JsonValue::number(double(DS.StoreHits)));
+    D.set("pushes", JsonValue::number(double(DS.SolverPushes)));
+    D.set("pops", JsonValue::number(double(DS.SolverPops)));
+    T.set("deduce", std::move(D));
     Tasks.Arr.push_back(std::move(T));
     TotalCandidates += R.Stats.CandidatesChecked;
     TotalSeconds += R.Seconds;
+    TotalDeduce += R.Stats.Deduce;
   }
   Out.set("tasks", std::move(Tasks));
 
@@ -321,6 +360,24 @@ JsonValue benchSnapshot(const std::string &SuiteName,
               JsonValue::number(TotalSeconds > 0
                                     ? double(TotalCandidates) / TotalSeconds
                                     : 0));
+  JsonValue D = JsonValue::object();
+  D.set("calls", JsonValue::number(double(TotalDeduce.Calls)));
+  D.set("solver_checks",
+        JsonValue::number(double(TotalDeduce.SolverChecks)));
+  D.set("cache_hits", JsonValue::number(double(TotalDeduce.CacheHits)));
+  D.set("template_compiles",
+        JsonValue::number(double(TotalDeduce.TemplateCompiles)));
+  D.set("template_hits",
+        JsonValue::number(double(TotalDeduce.TemplateHits)));
+  D.set("session_builds",
+        JsonValue::number(double(TotalDeduce.SessionBuilds)));
+  D.set("session_hits", JsonValue::number(double(TotalDeduce.SessionHits)));
+  D.set("store_hits", JsonValue::number(double(TotalDeduce.StoreHits)));
+  D.set("store_inserts",
+        JsonValue::number(double(TotalDeduce.StoreInserts)));
+  D.set("pushes", JsonValue::number(double(TotalDeduce.SolverPushes)));
+  D.set("pops", JsonValue::number(double(TotalDeduce.SolverPops)));
+  Summary.set("deduce", std::move(D));
   Out.set("summary", std::move(Summary));
   return Out;
 }
@@ -328,6 +385,7 @@ JsonValue benchSnapshot(const std::string &SuiteName,
 int runBench(ArgReader &Args) {
   std::string SuiteName = "morpheus", ConfigName = "spec2", JsonPath;
   Strategy Strat = Strategy::Sequential;
+  RefutationSharing Sharing = RefutationSharing::PerSolve;
   int TimeoutMs = 5000;
   unsigned Threads = 0;
   size_t Limit = SIZE_MAX;
@@ -370,6 +428,11 @@ int runBench(ArgReader &Args) {
       if (!N)
         return usage("--threads expects a number");
       Threads = unsigned(*N);
+    } else if (A == "--sharing") {
+      if (!Args.value(A, V))
+        return 2;
+      if (!parseRefutationSharing(V, Sharing))
+        return usage("unknown sharing mode (use off, per-solve or process)");
     } else if (A == "--limit") {
       if (!Args.value(A, V))
         return 2;
@@ -391,24 +454,51 @@ int runBench(ArgReader &Args) {
                         : ConfigName == "nodeduction"
                             ? configNoDeduction(Timeout)
                             : configSpec2(Timeout);
+  Cfg.Sharing = Sharing;
 
   std::vector<BenchmarkTask> Suite =
       SuiteName == "sql" ? sqlSuite() : morpheusSuite();
   if (Suite.size() > Limit)
     Suite.resize(Limit);
 
-  std::printf("suite %s (%zu tasks), config %s, strategy %s, timeout %d ms\n",
+  std::printf("suite %s (%zu tasks), config %s, strategy %s, timeout %d ms, "
+              "sharing %s\n",
               SuiteName.c_str(), Suite.size(), ConfigName.c_str(),
-              std::string(strategyName(Strat)).c_str(), TimeoutMs);
+              std::string(strategyName(Strat)).c_str(), TimeoutMs,
+              std::string(refutationSharingName(Sharing)).c_str());
 
   std::vector<TaskResult> Results =
       Strat == Strategy::Portfolio
           ? runSuitePortfolio(Suite, Cfg, Threads, &std::cout)
           : runSuite(Suite, Cfg, &std::cout);
 
+  // Engine seconds SUM across runs (CPU-second flavored); wall seconds
+  // MAX within one run and sum across the sequential task loop — under
+  // the portfolio strategy the two visibly diverge, which is the point
+  // of reporting both.
+  SynthesisStats Agg;
+  double SumWall = 0;
+  for (const TaskResult &R : Results) {
+    Agg += R.Stats;
+    SumWall += R.Stats.WallSeconds;
+  }
   std::printf("\nsolved %zu/%zu, median solved time %.2fs\n",
               solvedCount(Results), Results.size(),
               medianSolvedTime(Results));
+  std::printf("engine seconds %.2f (sum), wall seconds %.2f\n",
+              Agg.ElapsedSeconds, SumWall);
+  const DeduceStats &D = Agg.Deduce;
+  std::printf("deduce: %llu calls, %llu solver checks, %llu cache hits, "
+              "%llu store hits, %llu session hits, %llu template hits, "
+              "%llu/%llu pushes/pops\n",
+              (unsigned long long)D.Calls,
+              (unsigned long long)D.SolverChecks,
+              (unsigned long long)D.CacheHits,
+              (unsigned long long)D.StoreHits,
+              (unsigned long long)D.SessionHits,
+              (unsigned long long)D.TemplateHits,
+              (unsigned long long)D.SolverPushes,
+              (unsigned long long)D.SolverPops);
 
   if (!JsonPath.empty()) {
     JsonValue Snapshot =
