@@ -109,6 +109,15 @@ public:
     Cfg.Sharing = S;
     return *this;
   }
+  /// Attaches a synthesis event bus (bus/EventBus.h): the search engines,
+  /// the deduction substrate and any SynthService built over this engine
+  /// publish typed events to it. Null (default) disables publishing
+  /// entirely; with a bus attached but no subscriber for a kind, each
+  /// publish site costs one relaxed atomic load.
+  EngineOptions &eventBus(std::shared_ptr<EventBus> B) {
+    Cfg.Bus = std::move(B);
+    return *this;
+  }
   /// Escape hatch: replaces the whole underlying SynthesisConfig (the
   /// strategy and thread count are kept). Lets suite code reuse the named
   /// paper configurations (configSpec2, ...) through the facade.
@@ -118,6 +127,7 @@ public:
   /// Portfolio pool size; 0 means hardware concurrency.
   unsigned threads() const { return NumThreads; }
   RefutationSharing refutationSharing() const { return Cfg.Sharing; }
+  const std::shared_ptr<EventBus> &eventBus() const { return Cfg.Bus; }
   const SynthesisConfig &config() const { return Cfg; }
 
 private:

@@ -1,0 +1,81 @@
+//===- bus/Replay.cpp - Re-drive recorded traffic against a service -----------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bus/Replay.h"
+
+#include "io/ProgramIO.h"
+#include "service/SynthService.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace morpheus;
+
+ReplayReport morpheus::replayTraffic(std::vector<TrafficRecord> Records,
+                                     SynthService &Svc,
+                                     const ReplayOptions &Opts) {
+  // Stable: simultaneous arrivals keep their log order, which is
+  // submission order (job ids are monotone).
+  std::stable_sort(Records.begin(), Records.end(),
+                   [](const TrafficRecord &A, const TrafficRecord &B) {
+                     return A.ArrivalNs < B.ArrivalNs;
+                   });
+
+  ReplayReport Report;
+  Report.Jobs = Records.size();
+  if (Records.empty())
+    return Report;
+
+  const uint64_t FirstArrival = Records.front().ArrivalNs;
+  const auto Start = std::chrono::steady_clock::now();
+
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Records.size());
+  for (const TrafficRecord &R : Records) {
+    if (Opts.TimeScale > 0) {
+      auto Target = Start + std::chrono::nanoseconds(uint64_t(
+                                double(R.ArrivalNs - FirstArrival) *
+                                Opts.TimeScale));
+      std::this_thread::sleep_until(Target);
+    }
+    JobRequest Req;
+    if (Opts.ApplyPriorities)
+      Req.priority(int(R.Priority));
+    if (Opts.ApplyDeadlines && R.DeadlineMs)
+      Req.deadline(std::chrono::milliseconds(R.DeadlineMs));
+    // A record without a problem snapshot cannot be re-driven; surface it
+    // as a diff rather than silently shrinking the replay.
+    if (!R.Prob) {
+      Handles.push_back(JobHandle());
+      continue;
+    }
+    Handles.push_back(Svc.submit(*R.Prob, Req));
+  }
+
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const TrafficRecord &R = Records[I];
+    if (!Handles[I].valid()) {
+      Report.Diffs.push_back(
+          {R.Job, "outcome", R.Outcome, "<no problem snapshot in record>"});
+      continue;
+    }
+    const Solution &S = Handles[I].get();
+    std::string Outcome(outcomeName(S.Result));
+    if (Outcome == R.Outcome)
+      ++Report.OutcomeMatches;
+    else
+      Report.Diffs.push_back({R.Job, "outcome", R.Outcome, Outcome});
+
+    std::string Program = S.Program ? printSexp(S.Program) : std::string();
+    if (Program == R.Program)
+      ++Report.ProgramMatches;
+    else
+      Report.Diffs.push_back({R.Job, "program",
+                              R.Program.empty() ? "<none>" : R.Program,
+                              Program.empty() ? "<none>" : Program});
+  }
+  return Report;
+}

@@ -1,0 +1,73 @@
+//===- bus/Replay.h - Re-drive recorded traffic against a service -*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay harness: takes a traffic log (bus/TrafficRecorder.h),
+/// re-submits every recorded job to a SynthService — at recorded timing,
+/// accelerated, or as fast as possible — and diffs what comes back against
+/// what was recorded. Outcomes and solved programs must reproduce; result
+/// *sources* legitimately differ (a job solved in the recording may be a
+/// cache hit in the replay, or vice versa, depending on scheduling), so
+/// they are reported but never diffed.
+///
+/// This is what turns a recorded production incident — or the checked-in
+/// tests/traffic/ logs — into a deterministic regression test: record
+/// once, replay forever (tests/ReplayRegressionTest.cpp, `morpheus
+/// replay`, tools/replay.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_BUS_REPLAY_H
+#define MORPHEUS_BUS_REPLAY_H
+
+#include "bus/TrafficRecorder.h"
+
+#include <cstddef>
+
+namespace morpheus {
+
+class SynthService;
+
+struct ReplayOptions {
+  /// Inter-arrival time scale: 1.0 replays the recorded gaps, 0.5 twice
+  /// as fast, 0 (the default) submits back-to-back ("as fast as
+  /// possible"). Deadlines are never scaled — they bound solve time,
+  /// which does not speed up with submission.
+  double TimeScale = 0;
+  /// Re-apply each record's deadline. Off, a deadline-free replay of
+  /// deadline-shaped traffic shows what the service WOULD have answered
+  /// with unlimited patience.
+  bool ApplyDeadlines = true;
+  /// Re-apply each record's priority.
+  bool ApplyPriorities = true;
+};
+
+/// One divergence between the recording and the replay.
+struct ReplayDiff {
+  uint64_t Job = 0;      ///< recorded job id
+  std::string Field;     ///< "outcome" or "program"
+  std::string Recorded;
+  std::string Replayed;
+};
+
+struct ReplayReport {
+  size_t Jobs = 0;            ///< records replayed
+  size_t OutcomeMatches = 0;
+  size_t ProgramMatches = 0;  ///< jobs whose program text matched (both
+                              ///< empty counts as a match)
+  std::vector<ReplayDiff> Diffs;
+
+  bool ok() const { return Diffs.empty(); }
+};
+
+/// Replays \p Records (sorted by recorded arrival) against \p Svc and
+/// diffs the results. Blocks until every replayed handle completes.
+ReplayReport replayTraffic(std::vector<TrafficRecord> Records,
+                           SynthService &Svc, const ReplayOptions &Opts = {});
+
+} // namespace morpheus
+
+#endif // MORPHEUS_BUS_REPLAY_H

@@ -1,0 +1,104 @@
+//===- bus/StatsSink.cpp - Event-derived synthesis statistics -----------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bus/StatsSink.h"
+
+#include <cstring>
+
+using namespace morpheus;
+
+StatsSink::StatsSink(std::shared_ptr<EventBus> BusIn, uint64_t ExampleFilter)
+    : Bus(std::move(BusIn)) {
+  Subscription S;
+  S.Name = "stats-sink";
+  S.KindMask = eventKindBit(EventKind::SketchGenerated) |
+               eventKindBit(EventKind::SketchRefuted) |
+               eventKindBit(EventKind::SolutionFound) |
+               eventKindBit(EventKind::HoleFillBatch) |
+               eventKindBit(EventKind::SolverCheck) |
+               eventKindBit(EventKind::RefutationStoreHit) |
+               eventKindBit(EventKind::EngineFinished) |
+               eventKindBit(EventKind::SolveFinished);
+  if (ExampleFilter)
+    S.Filter = [ExampleFilter](const Event &E) {
+      return E.ExampleFp == ExampleFilter;
+    };
+  S.OnBatch = [this](const std::vector<Event> &Batch) { onBatch(Batch); };
+  SubId = Bus->subscribe(std::move(S));
+}
+
+StatsSink::~StatsSink() { Bus->unsubscribe(SubId); }
+
+void StatsSink::onBatch(const std::vector<Event> &Batch) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const Event &E : Batch) {
+    switch (E.Kind) {
+    case EventKind::SketchGenerated:
+      ++Tallies.SketchesGenerated;
+      break;
+    case EventKind::SketchRefuted:
+      ++Tallies.SketchesRefuted;
+      break;
+    case EventKind::SolutionFound:
+      ++Tallies.SolutionsFound;
+      break;
+    case EventKind::HoleFillBatch:
+      Tallies.PartialFillsTried += E.A;
+      Tallies.PartialFillsPruned += E.B;
+      Tallies.CandidatesChecked += E.C;
+      break;
+    case EventKind::SolverCheck:
+      ++Tallies.SolverChecks;
+      Tallies.SolverViable += E.A;
+      break;
+    case EventKind::RefutationStoreHit:
+      ++Tallies.StoreHits;
+      break;
+    case EventKind::EngineFinished:
+      ++Tallies.EnginesFinished;
+      if (E.Stats)
+        EngineAgg += *E.Stats;
+      break;
+    case EventKind::SolveFinished: {
+      SolveRecord R;
+      R.TimeNs = E.TimeNs;
+      R.ExampleFp = E.ExampleFp;
+      R.Outcome = int(E.A);
+      std::memcpy(&R.Seconds, &E.B, sizeof(R.Seconds));
+      if (E.Stats) {
+        R.Stats = *E.Stats;
+        Agg += *E.Stats;
+      }
+      if (E.Text)
+        R.Program = *E.Text;
+      Records.push_back(std::move(R));
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+std::vector<StatsSink::SolveRecord> StatsSink::solves() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records;
+}
+
+SynthesisStats StatsSink::aggregate() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Agg;
+}
+
+SynthesisStats StatsSink::engineAggregate() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return EngineAgg;
+}
+
+EventTallies StatsSink::tallies() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Tallies;
+}

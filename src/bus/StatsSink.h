@@ -1,0 +1,104 @@
+//===- bus/StatsSink.h - Event-derived synthesis statistics -----*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured-telemetry subscriber: derives SynthesisStats (and the
+/// DeduceStats inside them) from the event stream instead of from the
+/// in-band Solution values. Two accountings with different provenance:
+///
+///  - per-solve records come from SolveFinished snapshots, so they equal
+///    Solution.Stats *by construction* — this is what keeps event-derived
+///    numbers in golden parity with `morpheus bench --json` without the
+///    hot path paying per-counter publish costs;
+///  - fine-grained tallies re-count the per-occurrence events
+///    (SketchGenerated, SolverCheck, HoleFillBatch deltas, ...). For a
+///    lossless bus (DropPolicy::Block) over sequential solves they must
+///    sum to the same totals as the snapshots — tests/StatsParityTest.cpp
+///    holds the two accountings together over the full 108-task suite,
+///    which is exactly the cross-check that would catch a publish site
+///    drifting from its counter.
+///
+/// Thread safety: the OnBatch callback runs on the bus drain thread; every
+/// accessor locks, so readers on other threads see consistent state. Call
+/// EventBus::flush() before reading when you need everything published so
+/// far.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_BUS_STATSSINK_H
+#define MORPHEUS_BUS_STATSSINK_H
+
+#include "bus/EventBus.h"
+#include "synth/Synthesizer.h"
+
+#include <mutex>
+
+namespace morpheus {
+
+/// Counts re-derived from per-occurrence events (see file comment). The
+/// field names match the SynthesisStats/DeduceStats counters they mirror.
+struct EventTallies {
+  uint64_t SketchesGenerated = 0;
+  uint64_t SketchesRefuted = 0;
+  uint64_t PartialFillsTried = 0;  ///< summed HoleFillBatch.A
+  uint64_t PartialFillsPruned = 0; ///< summed HoleFillBatch.B
+  uint64_t CandidatesChecked = 0;  ///< summed HoleFillBatch.C
+  uint64_t SolverChecks = 0;       ///< SolverCheck events
+  uint64_t SolverViable = 0;       ///< SolverCheck events with A == 1
+  uint64_t StoreHits = 0;          ///< RefutationStoreHit events
+  uint64_t EnginesFinished = 0;
+  uint64_t SolutionsFound = 0; ///< SolutionFound events (winning candidates)
+};
+
+class StatsSink {
+public:
+  /// One SolveFinished event, unpacked.
+  struct SolveRecord {
+    uint64_t TimeNs = 0;    ///< bus timestamp of the finish event
+    uint64_t ExampleFp = 0; ///< example fingerprint the solve concerned
+    int Outcome = 0;        ///< morpheus::Outcome as int (Event::A)
+    double Seconds = 0;     ///< wall clock of the solve (Event::B bits)
+    SynthesisStats Stats;   ///< the full final counters snapshot
+    std::string Program;    ///< s-expression; empty when nothing was found
+  };
+
+  /// Subscribes to \p Bus (kept alive by the sink). The optional
+  /// \p ExampleFilter restricts the sink to one example's events
+  /// (0 = everything).
+  explicit StatsSink(std::shared_ptr<EventBus> Bus, uint64_t ExampleFilter = 0);
+  ~StatsSink();
+
+  StatsSink(const StatsSink &) = delete;
+  StatsSink &operator=(const StatsSink &) = delete;
+
+  /// SolveFinished records in delivery order.
+  std::vector<SolveRecord> solves() const;
+  /// Sum of every SolveFinished snapshot (the event-side analog of the
+  /// bench harness's suite aggregation).
+  SynthesisStats aggregate() const;
+  /// Sum of every EngineFinished snapshot. Under the portfolio this
+  /// exceeds the SolveFinished aggregate (members run concurrently and
+  /// losers are cancelled after the winner); sequentially, one engine run
+  /// IS the solve, so the two agree.
+  SynthesisStats engineAggregate() const;
+  EventTallies tallies() const;
+
+private:
+  void onBatch(const std::vector<Event> &Batch);
+
+  std::shared_ptr<EventBus> Bus;
+  uint64_t SubId = 0;
+
+  mutable std::mutex M;
+  std::vector<SolveRecord> Records;
+  SynthesisStats Agg;
+  SynthesisStats EngineAgg;
+  EventTallies Tallies;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_BUS_STATSSINK_H

@@ -1,0 +1,239 @@
+//===- bus/TrafficRecorder.cpp - Replayable service traffic log ---------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bus/TrafficRecorder.h"
+
+#include "io/ProblemIO.h"
+#include "service/SynthService.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace morpheus;
+
+namespace {
+
+std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%" PRIx64, V);
+  return Buf;
+}
+
+/// Parses "0x…" (or plain decimal) into a uint64; JSON numbers are doubles
+/// and cannot carry 64 bits, so fingerprints travel as strings.
+bool parseU64(const JsonValue &V, uint64_t &Out) {
+  if (V.isNumber()) {
+    if (V.Num < 0)
+      return false;
+    Out = uint64_t(V.Num);
+    return true;
+  }
+  if (!V.isString() || V.Str.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(V.Str.c_str(), &End, 0);
+  if (errno != 0 || End != V.Str.c_str() + V.Str.size())
+    return false;
+  Out = Parsed;
+  return true;
+}
+
+bool getU64(const JsonValue &Obj, std::string_view Key, uint64_t &Out,
+            std::string *Err) {
+  const JsonValue *V = Obj.find(Key);
+  if (!V || !parseU64(*V, Out)) {
+    if (Err)
+      *Err = "missing or malformed '" + std::string(Key) + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<TrafficRecord>
+morpheus::parseTrafficRecord(std::string_view Line, std::string *Err) {
+  std::optional<JsonValue> Doc = parseJson(Line, Err);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->isObject()) {
+    if (Err)
+      *Err = "traffic record is not a JSON object";
+    return std::nullopt;
+  }
+
+  uint64_t Version = 0;
+  if (!getU64(*Doc, "v", Version, Err))
+    return std::nullopt;
+  if (Version != 1) {
+    if (Err)
+      *Err = "unsupported traffic log version " + std::to_string(Version);
+    return std::nullopt;
+  }
+
+  TrafficRecord R;
+  if (!getU64(*Doc, "job", R.Job, Err) || !getU64(*Doc, "fp", R.Fp, Err) ||
+      !getU64(*Doc, "exfp", R.ExFp, Err) ||
+      !getU64(*Doc, "arrival_ns", R.ArrivalNs, Err) ||
+      !getU64(*Doc, "completed_ns", R.CompletedNs, Err) ||
+      !getU64(*Doc, "deadline_ms", R.DeadlineMs, Err))
+    return std::nullopt;
+
+  const JsonValue *Prio = Doc->find("priority");
+  if (!Prio || !Prio->isNumber()) {
+    if (Err)
+      *Err = "missing or malformed 'priority'";
+    return std::nullopt;
+  }
+  R.Priority = int64_t(Prio->Num);
+
+  const JsonValue *Outcome = Doc->find("outcome");
+  const JsonValue *Source = Doc->find("source");
+  if (!Outcome || !Outcome->isString() || !Source || !Source->isString()) {
+    if (Err)
+      *Err = "missing or malformed 'outcome'/'source'";
+    return std::nullopt;
+  }
+  R.Outcome = Outcome->Str;
+  R.Source = Source->Str;
+
+  if (const JsonValue *Prog = Doc->find("program")) {
+    if (!Prog->isString()) {
+      if (Err)
+        *Err = "'program' is not a string";
+      return std::nullopt;
+    }
+    R.Program = Prog->Str;
+  }
+
+  const JsonValue *Prob = Doc->find("problem");
+  if (!Prob) {
+    if (Err)
+      *Err = "missing 'problem'";
+    return std::nullopt;
+  }
+  std::optional<Problem> P = problemFromJson(*Prob, Err);
+  if (!P)
+    return std::nullopt;
+  R.Prob = std::make_shared<const Problem>(std::move(*P));
+  return R;
+}
+
+std::optional<std::vector<TrafficRecord>>
+morpheus::readTrafficLog(const std::string &Path, std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::vector<TrafficRecord> Out;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::string LineErr;
+    std::optional<TrafficRecord> R = parseTrafficRecord(Line, &LineErr);
+    if (!R) {
+      if (Err)
+        *Err = Path + ":" + std::to_string(LineNo) + ": " + LineErr;
+      return std::nullopt;
+    }
+    Out.push_back(std::move(*R));
+  }
+  return Out;
+}
+
+std::string morpheus::trafficRecordToLine(const TrafficRecord &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("v", JsonValue::number(1));
+  Doc.set("job", JsonValue::number(double(R.Job)));
+  Doc.set("fp", JsonValue::string(hex64(R.Fp)));
+  Doc.set("exfp", JsonValue::string(hex64(R.ExFp)));
+  Doc.set("arrival_ns", JsonValue::string(std::to_string(R.ArrivalNs)));
+  Doc.set("completed_ns", JsonValue::string(std::to_string(R.CompletedNs)));
+  Doc.set("priority", JsonValue::number(double(R.Priority)));
+  Doc.set("deadline_ms", JsonValue::number(double(R.DeadlineMs)));
+  Doc.set("outcome", JsonValue::string(R.Outcome));
+  Doc.set("source", JsonValue::string(R.Source));
+  if (!R.Program.empty())
+    Doc.set("program", JsonValue::string(R.Program));
+  Doc.set("problem", R.Prob ? problemToJson(*R.Prob) : JsonValue::object());
+  return Doc.dump(0);
+}
+
+TrafficRecorder::TrafficRecorder(std::shared_ptr<EventBus> BusIn,
+                                 std::ostream &OutIn)
+    : Bus(std::move(BusIn)), Out(OutIn) {
+  Subscription S;
+  S.Name = "traffic-recorder";
+  S.KindMask = eventKindBit(EventKind::JobSubmitted) |
+               eventKindBit(EventKind::JobCompleted);
+  S.OnBatch = [this](const std::vector<Event> &Batch) { onBatch(Batch); };
+  SubId = Bus->subscribe(std::move(S));
+}
+
+TrafficRecorder::~TrafficRecorder() {
+  // Unsubscribe first: it waits for in-flight batches, so no callback can
+  // race the flush below or touch a dead recorder.
+  Bus->unsubscribe(SubId);
+  Out.flush();
+}
+
+void TrafficRecorder::onBatch(const std::vector<Event> &Batch) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const Event &E : Batch) {
+    if (E.Kind == EventKind::JobSubmitted) {
+      TrafficRecord R;
+      R.Job = E.A;
+      R.Fp = E.B;
+      R.ExFp = E.ExampleFp;
+      R.ArrivalNs = E.TimeNs;
+      R.Priority = int64_t(E.C);
+      R.DeadlineMs = E.D;
+      R.Prob = E.Prob;
+      Pending[R.Job] = std::move(R);
+    } else if (E.Kind == EventKind::JobCompleted) {
+      auto It = Pending.find(E.A);
+      if (It == Pending.end()) {
+        ++Orphans;
+        continue;
+      }
+      TrafficRecord R = std::move(It->second);
+      Pending.erase(It);
+      R.CompletedNs = E.TimeNs;
+      R.Outcome = outcomeName(Outcome(E.C));
+      R.Source = resultSourceName(ResultSource(E.D));
+      if (E.Text)
+        R.Program = *E.Text;
+      Out << trafficRecordToLine(R) << '\n';
+      ++Written;
+    }
+  }
+}
+
+uint64_t TrafficRecorder::recordsWritten() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Written;
+}
+
+uint64_t TrafficRecorder::pendingJobs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Pending.size();
+}
+
+uint64_t TrafficRecorder::orphanCompletions() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Orphans;
+}

@@ -1,0 +1,115 @@
+//===- bus/TrafficRecorder.h - Replayable service traffic log ---*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traffic-recording subscriber and its log format: one JSON object
+/// per line (JSON-lines) per *completed* job, carrying everything needed
+/// to re-drive the job against a fresh SynthService (bus/Replay.h):
+///
+///   {"v": 1, "job": 3, "fp": "0x9c…", "exfp": "0x4a…",
+///    "arrival_ns": 18200, "completed_ns": 905000,
+///    "priority": 0, "deadline_ms": 0,
+///    "outcome": "solved", "source": "solve",
+///    "program": "(select (filter x0 …) …)",
+///    "problem": { …ProblemIO schema… }}
+///
+/// Fingerprints are hex strings (the JSON number type is a double and
+/// cannot hold 64 bits). arrival/completed are Event::TimeNs — nanoseconds
+/// on the recording bus's clock — so replay derives inter-arrival gaps
+/// from them; absolute values are meaningless across runs.
+///
+/// The recorder keys on the JobSubmitted/JobCompleted pair: submissions
+/// are held pending (with their Problem snapshot) until their completion
+/// event arrives, then written as one line. Jobs still pending when the
+/// recorder is destroyed are counted, not written — pair a recorder with
+/// DropPolicy::Block and flush the bus after SynthService::drain() for a
+/// lossless capture.
+///
+/// The parse half (parseTrafficRecord / readTrafficLog) is deliberately
+/// defensive — logs cross machine boundaries — and is fuzzed by
+/// tests/IoFuzzTest.cpp (truncation, duplicate keys, invalid UTF-8,
+/// byte mutations): malformed input yields an error message, never UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_BUS_TRAFFICRECORDER_H
+#define MORPHEUS_BUS_TRAFFICRECORDER_H
+
+#include "bus/EventBus.h"
+
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace morpheus {
+
+struct Problem;
+
+/// One parsed log line: a served job, replayable.
+struct TrafficRecord {
+  uint64_t Job = 0;         ///< submission-order id (unique per recording)
+  uint64_t Fp = 0;          ///< problem fingerprint at record time
+  uint64_t ExFp = 0;        ///< example fingerprint
+  uint64_t ArrivalNs = 0;   ///< JobSubmitted bus timestamp
+  uint64_t CompletedNs = 0; ///< JobCompleted bus timestamp
+  int64_t Priority = 0;
+  uint64_t DeadlineMs = 0; ///< 0 = no deadline
+  std::string Outcome;     ///< outcomeName() at record time
+  std::string Source;      ///< resultSourceName() at record time
+  std::string Program;     ///< solved program s-expression; empty if none
+  std::shared_ptr<const Problem> Prob; ///< the problem itself
+};
+
+/// Parses one log line. Returns nullopt (with \p Err when non-null) on any
+/// schema or JSON violation; never throws, never crashes on garbage.
+std::optional<TrafficRecord> parseTrafficRecord(std::string_view Line,
+                                                std::string *Err = nullptr);
+
+/// Reads a whole log file: every non-empty line must parse. On failure
+/// returns nullopt with \p Err naming the first bad line.
+std::optional<std::vector<TrafficRecord>>
+readTrafficLog(const std::string &Path, std::string *Err = nullptr);
+
+/// Serializes \p R as one compact JSON line (no trailing newline) —
+/// the exact inverse of parseTrafficRecord.
+std::string trafficRecordToLine(const TrafficRecord &R);
+
+/// The subscriber. Writes to \p Out from the bus drain thread; the caller
+/// keeps \p Out alive and must not write to it concurrently.
+class TrafficRecorder {
+public:
+  TrafficRecorder(std::shared_ptr<EventBus> Bus, std::ostream &Out);
+  ~TrafficRecorder();
+
+  TrafficRecorder(const TrafficRecorder &) = delete;
+  TrafficRecorder &operator=(const TrafficRecorder &) = delete;
+
+  /// Completed jobs written out so far.
+  uint64_t recordsWritten() const;
+  /// Submissions seen whose completion has not yet arrived.
+  uint64_t pendingJobs() const;
+  /// Completions whose submission event was never seen (dropped by the
+  /// bus, or the recorder attached mid-traffic); not written.
+  uint64_t orphanCompletions() const;
+
+private:
+  void onBatch(const std::vector<Event> &Batch);
+
+  std::shared_ptr<EventBus> Bus;
+  std::ostream &Out;
+  uint64_t SubId = 0;
+
+  mutable std::mutex M;
+  /// Job id -> the half-record started by its JobSubmitted event.
+  std::unordered_map<uint64_t, TrafficRecord> Pending;
+  uint64_t Written = 0;
+  uint64_t Orphans = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_BUS_TRAFFICRECORDER_H

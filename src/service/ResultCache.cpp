@@ -51,24 +51,27 @@ void ResultCache::reclassifyMissAsHit() {
   ++Counters.Hits;
 }
 
-void ResultCache::insert(uint64_t Key, Solution S) {
+std::optional<uint64_t> ResultCache::insert(uint64_t Key, Solution S) {
   std::lock_guard<std::mutex> Lock(M);
   ++Counters.Insertions;
   if (Capacity == 0)
-    return;
+    return std::nullopt;
   auto It = Index.find(Key);
   if (It != Index.end()) {
     It->second->second = std::move(S);
     Lru.splice(Lru.begin(), Lru, It->second);
-    return;
+    return std::nullopt;
   }
   Lru.emplace_front(Key, std::move(S));
   Index.emplace(Key, Lru.begin());
   if (Lru.size() > Capacity) {
-    Index.erase(Lru.back().first);
+    uint64_t Evicted = Lru.back().first;
+    Index.erase(Evicted);
     Lru.pop_back();
     ++Counters.Evictions;
+    return Evicted;
   }
+  return std::nullopt;
 }
 
 void ResultCache::noteCoalesced() {

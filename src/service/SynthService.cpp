@@ -21,6 +21,8 @@
 
 #include "service/SynthService.h"
 
+#include "bus/EventBus.h"
+#include "io/ProgramIO.h"
 #include "service/Fingerprint.h"
 #include "spec/Abstraction.h"
 
@@ -58,6 +60,11 @@ struct JobHandle::JobState {
   ResultSource Source = ResultSource::Solve;
   Solution Result;
   uint64_t Fp = 0;
+  /// Bus identity, immutable after submit: the per-submission job id and
+  /// the example fingerprint events are scoped to. Both zero when the
+  /// service has no bus attached.
+  uint64_t Id = 0;
+  uint64_t ExFp = 0;
   /// This handle's own absolute deadline (nullopt = none). Enforced while
   /// the job is queued; see JobRequest::deadline for the contract.
   std::optional<std::chrono::steady_clock::time_point> Deadline;
@@ -158,7 +165,8 @@ std::optional<std::chrono::steady_clock::time_point> SynthService::neededDeadlin
 }
 
 SynthService::SynthService(Engine Eng, ServiceOptions Opts)
-    : Eng(std::move(Eng)), Opts(Opts), Cache(Opts.cacheCapacity()) {
+    : Eng(std::move(Eng)), Opts(Opts),
+      Bus(this->Eng.options().config().Bus.get()), Cache(Opts.cacheCapacity()) {
   unsigned N = this->Opts.workers();
   if (N == 0) {
     N = std::thread::hardware_concurrency();
@@ -223,6 +231,22 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
   if (R.deadline().count() > 0)
     State->Deadline = SubmitTime + R.deadline();
 
+  // Bus identity and the submission event, before the lock: the problem
+  // snapshot copy is cheap (tables share columns), and the recorder sees
+  // every submission — including ones served from cache or refused below —
+  // so a replay re-drives the exact traffic, not just the solves.
+  if (Bus) {
+    State->Id = NextJobId.fetch_add(1, std::memory_order_relaxed);
+    State->ExFp = exampleFingerprint(P.Inputs, P.Output);
+    if (Bus->wants(EventKind::JobSubmitted)) {
+      Event E(EventKind::JobSubmitted, State->ExFp, State->Id, Fp,
+              uint64_t(int64_t(R.priority())),
+              uint64_t(R.deadline().count()));
+      E.Prob = std::make_shared<const Problem>(P);
+      Bus->publish(std::move(E));
+    }
+  }
+
   std::unique_lock<std::mutex> Lock(M);
   for (;;) {
     if (ShuttingDown) {
@@ -239,6 +263,8 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
       // Seconds reports this handle's latency, and a hit costs nothing;
       // the original solve's cost lives in the cached Stats.
       Hit->Seconds = 0;
+      if (Bus && Bus->wants(EventKind::CacheHit))
+        Bus->publish(Event(EventKind::CacheHit, State->ExFp, State->Id, Fp));
       complete(State, std::move(*Hit), ResultSource::CacheHit);
       ++Counters.Submitted;
       return JobHandle(std::move(State));
@@ -284,6 +310,9 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
         }
       }
       Cache.noteCoalesced();
+      if (Bus && Bus->wants(EventKind::CacheCoalesce))
+        Bus->publish(
+            Event(EventKind::CacheCoalesce, State->ExFp, State->Id, Fp));
       ++Counters.Submitted;
       return JobHandle(std::move(State));
     }
@@ -305,8 +334,12 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
       if (!SpaceAvailable.wait_until(Lock, *State->Deadline, SlotFree)) {
         Solution S;
         S.Result = Outcome::Timeout;
-        if (complete(State, std::move(S), ResultSource::QueueDeadline))
+        if (complete(State, std::move(S), ResultSource::QueueDeadline)) {
           ++Counters.QueueDeadlineExpired;
+          if (Bus && Bus->wants(EventKind::JobTimeout))
+            Bus->publish(Event(EventKind::JobTimeout, State->ExFp, State->Id,
+                               Fp, /*QueueExpiry=*/1));
+        }
         ++Counters.Submitted;
         return JobHandle(std::move(State));
       }
@@ -375,6 +408,8 @@ void SynthService::workerLoop() {
       W->Waiters.clear();
       for (const std::shared_ptr<JobHandle::JobState> &St : Waiters) {
         St->Job.reset();
+        if (Bus && Bus->wants(EventKind::CacheHit))
+          Bus->publish(Event(EventKind::CacheHit, St->ExFp, St->Id, W->Fp));
         complete(St, *Hit, ResultSource::CacheHit);
       }
       SpaceAvailable.notify_all();
@@ -421,8 +456,11 @@ void SynthService::workerLoop() {
         SolveClamp && *SolveClamp < SolveStart + Eng.options().config().Timeout +
                                         std::chrono::seconds(1);
     if (S.Result == Outcome::Solved || S.Result == Outcome::Exhausted ||
-        (S.Result == Outcome::Timeout && !ClampTruncated))
-      Cache.insert(W->Fp, S);
+        (S.Result == Outcome::Timeout && !ClampTruncated)) {
+      std::optional<uint64_t> Evicted = Cache.insert(W->Fp, S);
+      if (Evicted && Bus && Bus->wants(EventKind::CacheEvict))
+        Bus->publish(Event(EventKind::CacheEvict, 0, 0, *Evicted));
+    }
     std::vector<std::shared_ptr<JobHandle::JobState>> Waiters =
         std::move(W->Waiters);
     W->Waiters.clear();
@@ -505,6 +543,9 @@ void SynthService::cancelJob(const std::shared_ptr<JobHandle::JobState> &State) 
 bool SynthService::complete(const std::shared_ptr<JobHandle::JobState> &State,
                             Solution S,
                             std::optional<ResultSource> OverrideSource) {
+  Outcome Res = S.Result;
+  ResultSource Src;
+  HypPtr Prog;
   {
     std::lock_guard<std::mutex> Lock(State->M);
     if (State->Status == JobStatus::Done)
@@ -512,10 +553,21 @@ bool SynthService::complete(const std::shared_ptr<JobHandle::JobState> &State,
     State->Status = JobStatus::Done;
     if (OverrideSource)
       State->Source = *OverrideSource;
+    Src = State->Source;
     State->Result = std::move(S);
+    Prog = State->Result.Program;
   }
   ++Counters.Completed;
   State->CV.notify_all();
+  // Every handle completes through here exactly once (the Done check
+  // above), so JobCompleted is the recorder's one outcome record per job.
+  if (Bus && Bus->wants(EventKind::JobCompleted)) {
+    Event E(EventKind::JobCompleted, State->ExFp, State->Id, State->Fp,
+            uint64_t(Res), uint64_t(Src));
+    if (Prog)
+      E.Text = std::make_shared<const std::string>(printSexp(Prog));
+    Bus->publish(std::move(E));
+  }
   return true;
 }
 
@@ -538,6 +590,9 @@ void SynthService::shedExpiredWaiters(Work &W) {
           ++Counters.RiderDeadlineExpired;
         else
           ++Counters.QueueDeadlineExpired;
+        if (Bus && Bus->wants(EventKind::JobTimeout))
+          Bus->publish(Event(EventKind::JobTimeout, St->ExFp, St->Id, St->Fp,
+                             W.Running ? 0 : 1));
       }
       AnyExpired = true;
     }

@@ -55,6 +55,7 @@
 #include "api/Engine.h"
 #include "service/ResultCache.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <thread>
@@ -255,6 +256,13 @@ private:
 
   const Engine Eng;
   const ServiceOptions Opts;
+  /// The engine config's event bus, cached as a raw pointer (Eng owns the
+  /// shared_ptr and outlives every use). Null when no bus is attached —
+  /// then every publish site is a single pointer test.
+  EventBus *Bus = nullptr;
+  /// Job ids for bus events: unique per submission, monotone in submit
+  /// order. Atomic so ids are assigned before the service lock is taken.
+  std::atomic<uint64_t> NextJobId{1};
   ResultCache Cache;
   /// Example-fingerprint-scoped refutation stores (see refutationScopeFor).
   /// Guarded by M; bounded by epoch flush (in-flight solves keep their

@@ -6,6 +6,8 @@
 
 #include "synth/Synthesizer.h"
 
+#include "bus/EventBus.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <queue>
@@ -90,6 +92,11 @@ public:
       Deadline = *Cfg.Deadline;
     if (Cfg.UseDeduction && Cfg.Refutations)
       Engine.setRefutationStore(Cfg.Refutations);
+    // Raw pointer on the hot path; Cfg (alive for the whole run) keeps
+    // the shared ownership.
+    Bus = Cfg.Bus.get();
+    if (Bus)
+      Engine.setEventBus(Bus);
     // Warm the example's comparison caches once per search: every candidate
     // check reuses the output's fingerprint and canonical row permutation.
     OutputFingerprint = Output.fingerprint();
@@ -169,6 +176,14 @@ private:
   /// (Section 1: partial evaluation "drives enumerative search").
   std::optional<std::vector<Table>> universeFor(const HypPtr &Node);
 
+  /// Publishes a scalar event when a bus is attached and some subscriber
+  /// wants the kind; otherwise one pointer test (no bus) or one relaxed
+  /// load (bus, no subscriber).
+  void emit(EventKind K, uint64_t A = 0, uint64_t B = 0, uint64_t C = 0) {
+    if (Bus && Bus->wants(K))
+      Bus->publish(Event(K, Ex->Fingerprint, A, B, C));
+  }
+
   const ComponentLibrary &Lib;
   const SynthesisConfig &Cfg;
   std::shared_ptr<const ExampleContext> Ex;
@@ -185,6 +200,7 @@ private:
   std::chrono::steady_clock::time_point SketchStart;
   SynthesisStats Stats;
   HypPtr Solution;
+  EventBus *Bus = nullptr;
 };
 
 std::optional<std::vector<Table>>
@@ -264,7 +280,15 @@ bool SearchContext::fillSketch(const HypPtr &Sketch) {
   std::vector<HoleInfo> Holes;
   std::vector<size_t> Path;
   collectHoles(Sketch, Path, Holes);
+  // Hole fills and candidate checks run millions of times; the bus sees
+  // them as ONE batched delta event per sketch completion.
+  uint64_t TriedBefore = Stats.PartialFillsTried;
+  uint64_t PrunedBefore = Stats.PartialFillsPruned;
+  uint64_t CheckedBefore = Stats.CandidatesChecked;
   bool Found = fillHoles(0, Sketch, Holes);
+  emit(EventKind::HoleFillBatch, Stats.PartialFillsTried - TriedBefore,
+       Stats.PartialFillsPruned - PrunedBefore,
+       Stats.CandidatesChecked - CheckedBefore);
   // Bound cache growth: entries only help within one sketch's completion.
   Engine.clearEvalCache();
   return Found;
@@ -332,8 +356,10 @@ SynthesisResult SearchContext::run() {
         if (expired())
           break;
         ++Stats.SketchesGenerated;
+        emit(EventKind::SketchGenerated, S->numApplies());
         if (S->isApply() && Cfg.UseDeduction && !deduce(S)) {
           ++Stats.SketchesRefuted;
+          emit(EventKind::SketchRefuted, S->numApplies());
           continue;
         }
         uint64_t CandBefore = Stats.CandidatesChecked;
@@ -355,6 +381,12 @@ SynthesisResult SearchContext::run() {
                   .count();
           Stats.WallSeconds = Stats.ElapsedSeconds;
           Stats.Deduce = Engine.stats();
+          emit(EventKind::SolutionFound, Solution->numApplies());
+          if (Bus && Bus->wants(EventKind::EngineFinished)) {
+            Event E(EventKind::EngineFinished, Ex->Fingerprint, 1);
+            E.Stats = std::make_shared<const SynthesisStats>(Stats);
+            Bus->publish(std::move(E));
+          }
           return {Solution, Stats};
         }
       }
@@ -382,6 +414,11 @@ SynthesisResult SearchContext::run() {
                              .count();
   Stats.WallSeconds = Stats.ElapsedSeconds;
   Stats.Deduce = Engine.stats();
+  if (Bus && Bus->wants(EventKind::EngineFinished)) {
+    Event E(EventKind::EngineFinished, Ex->Fingerprint, 0);
+    E.Stats = std::make_shared<const SynthesisStats>(Stats);
+    Bus->publish(std::move(E));
+  }
   return {nullptr, Stats};
 }
 

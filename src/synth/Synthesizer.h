@@ -33,6 +33,8 @@
 
 namespace morpheus {
 
+class EventBus; // bus/EventBus.h
+
 /// How DEDUCE refutations are shared across engines (portfolio members,
 /// service workers, repeated solves). Sharing is *sound* — a refutation is
 /// a pure function of (query, example), never of search budgets — so the
@@ -120,6 +122,15 @@ struct SynthesisConfig {
   /// to scope stores by example fingerprint alongside its ResultCache.
   /// Must be scoped to the example being solved (see RefutationStore).
   std::shared_ptr<RefutationStore> Refutations;
+  /// Optional synthesis event bus (bus/EventBus.h). When set, the search
+  /// and the deduction engine publish typed events (sketch generated /
+  /// refuted, batched hole fills, Z3 checks, store hits, per-run stats
+  /// snapshots) for off-hot-path subscribers. Null — the default — keeps
+  /// the hot path byte-identical to a bus-free build: not a single
+  /// branch beyond one pointer test per publish site. Excluded from the
+  /// service problem fingerprint: observability never changes which
+  /// problems are solvable or which program is found.
+  std::shared_ptr<EventBus> Bus;
   InhabitationConfig Inhab;
 };
 

@@ -13,8 +13,14 @@
 /// duplicate keys, huge and degenerate numbers, invalid UTF-8, deep
 /// nesting, and deterministic random mutations of a valid document.
 ///
+/// The traffic-log parser (bus/TrafficRecorder.h) gets the same
+/// treatment: recorded logs cross machine boundaries before `morpheus
+/// replay` consumes them, so parseTrafficRecord faces the identical
+/// attacker surface.
+///
 //===----------------------------------------------------------------------===//
 
+#include "bus/TrafficRecorder.h"
 #include "io/Json.h"
 #include "io/ProblemIO.h"
 #include "io/TableIO.h"
@@ -257,6 +263,166 @@ TEST(ProblemIoFuzz, LoadProblemOnMissingFileReportsError) {
   std::string Err;
   EXPECT_FALSE(loadProblem("/nonexistent/morpheus_fuzz.json", &Err));
   EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Traffic-log parser (bus/TrafficRecorder.h)
+//===----------------------------------------------------------------------===//
+
+/// A well-formed recorder line (64-bit fields string-encoded, the way
+/// the recorder emits them; the seed test pins that it parses and
+/// round-trips through trafficRecordToLine).
+std::string validTrafficLine() {
+  return std::string("{\"v\":1,\"job\":3,\"fp\":\"0x9c0ffee123456789\","
+                     "\"exfp\":\"0x4abad1dea5e5e5e5\",\"arrival_ns\":"
+                     "\"18200\",\"completed_ns\":\"905000\",\"priority\":-2,"
+                     "\"deadline_ms\":1500,\"outcome\":\"solved\","
+                     "\"source\":\"solve\",\"program\":\"(select x0 id)\","
+                     "\"problem\":") +
+         ValidProblemDoc + "}";
+}
+
+TEST(TrafficFuzz, SeedLineParsesAndRoundTrips) {
+  std::string Err;
+  std::optional<TrafficRecord> R = parseTrafficRecord(validTrafficLine(), &Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_EQ(R->Job, 3u);
+  EXPECT_EQ(R->Fp, 0x9c0ffee123456789ULL);
+  EXPECT_EQ(R->ExFp, 0x4abad1dea5e5e5e5ULL);
+  EXPECT_EQ(R->ArrivalNs, 18200u);
+  EXPECT_EQ(R->CompletedNs, 905000u);
+  EXPECT_EQ(R->Priority, -2);
+  EXPECT_EQ(R->DeadlineMs, 1500u);
+  EXPECT_EQ(R->Outcome, "solved");
+  EXPECT_EQ(R->Program, "(select x0 id)");
+  ASSERT_TRUE(R->Prob);
+
+  // Serialize and reparse: the inverse pair is exact on every field.
+  std::optional<TrafficRecord> Again =
+      parseTrafficRecord(trafficRecordToLine(*R), &Err);
+  ASSERT_TRUE(Again) << Err;
+  EXPECT_EQ(Again->Fp, R->Fp);
+  EXPECT_EQ(Again->Priority, R->Priority);
+  EXPECT_EQ(Again->Program, R->Program);
+}
+
+TEST(TrafficFuzz, TruncationAtEveryByteFailsCleanly) {
+  std::string Line = validTrafficLine();
+  // Every strict prefix is broken (the line closes with '}'): either
+  // invalid JSON or a schema with required keys missing. Never a crash,
+  // never a silent accept, always an explanation.
+  for (size_t Len = 0; Len != Line.size(); ++Len) {
+    std::string Err;
+    EXPECT_FALSE(
+        parseTrafficRecord(std::string_view(Line).substr(0, Len), &Err))
+        << "prefix of length " << Len << " unexpectedly parsed";
+    EXPECT_FALSE(Err.empty()) << "no error for prefix of length " << Len;
+  }
+}
+
+TEST(TrafficFuzz, DuplicateKeysAreDeterministicFirstWins) {
+  // Duplicate a scalar key: our JSON layer binds first-wins, and the
+  // record parser must inherit that determinism.
+  std::string Line = validTrafficLine();
+  size_t At = Line.find("\"job\":3");
+  ASSERT_NE(At, std::string::npos);
+  Line.insert(At, "\"job\":99,");
+  std::string Err;
+  std::optional<TrafficRecord> R = parseTrafficRecord(Line, &Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_EQ(R->Job, 99u); // the first binding
+}
+
+TEST(TrafficFuzz, InvalidUtf8InStringsPassesThroughOrFailsCleanly) {
+  // Raw invalid bytes inside the program text: byte-oriented pass-through.
+  std::string Line = validTrafficLine();
+  size_t At = Line.find("(select x0 id)");
+  ASSERT_NE(At, std::string::npos);
+  Line.replace(At, 14, "\xff\xfe\x80(x)");
+  std::string Err;
+  std::optional<TrafficRecord> R = parseTrafficRecord(Line, &Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_EQ(R->Program.size(), 6u);
+
+  // The same bytes outside any string are a syntax error, not a crash.
+  EXPECT_FALSE(parseTrafficRecord("\xff\xfe{\"v\":1}", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TrafficFuzz, SchemaViolationsAreRejectedWithMessages) {
+  std::string Seed = validTrafficLine();
+  auto Reject = [](const std::string &Line, const char *What) {
+    std::string Err;
+    EXPECT_FALSE(parseTrafficRecord(Line, &Err)) << "accepted: " << What;
+    EXPECT_FALSE(Err.empty()) << "no message for: " << What;
+  };
+  Reject("null", "non-object");
+  Reject("[]", "array");
+  Reject("{}", "empty object");
+  {
+    std::string L = Seed;
+    size_t At = L.find("\"v\":1");
+    L.replace(At, 5, "\"v\":2");
+    Reject(L, "unknown version");
+  }
+  {
+    std::string L = Seed;
+    size_t At = L.find("\"fp\":\"0x9c0ffee123456789\"");
+    L.replace(At, 25, "\"fp\":\"0xNOTHEX\"");
+    Reject(L, "malformed hex fingerprint");
+  }
+  {
+    std::string L = Seed;
+    size_t At = L.find("\"outcome\":\"solved\"");
+    L.replace(At, 18, "\"outcome\":17");
+    Reject(L, "non-string outcome");
+  }
+  {
+    std::string L = Seed;
+    size_t At = L.find(",\"problem\":");
+    L.resize(At);
+    L += ",\"problem\":{}}";
+    Reject(L, "problem failing its own schema");
+  }
+}
+
+TEST(TrafficFuzz, DeterministicMutationSweepNeverCrashes) {
+  // The same LCG-driven single-byte mutation harness the problem pipeline
+  // gets, aimed at the record parser. Only invariant: no crash, every
+  // rejection explained.
+  std::string Seed = validTrafficLine();
+  uint64_t Lcg = 0x9e3779b97f4a7c15ULL;
+  auto Next = [&Lcg] {
+    Lcg = Lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Lcg >> 33;
+  };
+  int Survived = 0;
+  for (int I = 0; I != 2000; ++I) {
+    std::string Mutant = Seed;
+    switch (Next() % 3) {
+    case 0:
+      Mutant[Next() % Mutant.size()] = char(Next() % 256);
+      break;
+    case 1:
+      Mutant.erase(Next() % Mutant.size(), 1);
+      break;
+    case 2: {
+      size_t At = Next() % Mutant.size();
+      Mutant.insert(At, Mutant.substr(At, Next() % 16));
+      break;
+    }
+    }
+    std::string Err;
+    std::optional<TrafficRecord> R = parseTrafficRecord(Mutant, &Err);
+    if (R)
+      ++Survived;
+    else
+      EXPECT_FALSE(Err.empty());
+  }
+  // Both sides exercised: a digit flipped inside a timestamp still
+  // parses; a structural break does not.
+  EXPECT_GT(Survived, 0);
+  EXPECT_LT(Survived, 2000);
 }
 
 } // namespace

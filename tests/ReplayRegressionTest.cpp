@@ -1,0 +1,229 @@
+//===- tests/ReplayRegressionTest.cpp - Traffic record/replay determinism -----==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The record -> replay loop as a regression gate. Three layers:
+///
+///  - tests/traffic/smoke.jsonl is a checked-in capture (made with
+///    `morpheus serve --record` under the serve defaults: 30 s engine
+///    budget, sequential strategy, Spec 2, tidy library) that replaying
+///    against a freshly built service must reproduce exactly — outcome
+///    AND synthesized program per job. The sequential search is
+///    deterministic (cost-ordered worklist), so any divergence here is a
+///    real behaviour change in the engine, the deduction substrate or
+///    the serving layer, which is precisely what this test exists to
+///    catch. Regenerate the capture ONLY for an intentional change:
+///        build/morpheus serve --record tests/traffic/smoke.jsonl \
+///            < <(requests)   # see tools/replay.sh
+///  - a live in-process round trip (record fresh traffic over the bus,
+///    replay it immediately) proves the loop is closed without depending
+///    on any checked-in bytes;
+///  - tampered records must be *detected* — a replay harness that cannot
+///    fail would gate nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bus/Replay.h"
+#include "service/SynthService.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+using namespace morpheus;
+
+namespace {
+
+std::string smokeLogPath() {
+  return (std::filesystem::path(__FILE__).parent_path() / "traffic" /
+          "smoke.jsonl")
+      .string();
+}
+
+/// The engine shape `morpheus serve` uses when no flags are given — the
+/// shape the checked-in capture was recorded under.
+EngineOptions serveDefaultOptions() {
+  return EngineOptions().timeout(std::chrono::milliseconds(30000));
+}
+
+/// Mirrors ServiceTest::fastProblem: quickly solvable, Tag-fingerprinted.
+Problem fastProblem(unsigned Tag = 0) {
+  double O = double(Tag);
+  Table In = makeTable({{"id", CellType::Num},
+                        {"name", CellType::Str},
+                        {"age", CellType::Num}},
+                       {{num(1), str("Alice"), num(8 + O)},
+                        {num(2), str("Bob"), num(18 + O)},
+                        {num(3), str("Tom"), num(12 + O)}});
+  Table Out = makeTable({{"name", CellType::Str}, {"age", CellType::Num}},
+                        {{str("Bob"), num(18 + O)}, {str("Tom"), num(12 + O)}});
+  Problem P = Problem::fromTables({In}, Out);
+  P.Name = "fast" + std::to_string(Tag);
+  return P;
+}
+
+TEST(ReplayRegression, CheckedInSmokeLogReproduces) {
+  std::string Err;
+  std::optional<std::vector<TrafficRecord>> Log =
+      readTrafficLog(smokeLogPath(), &Err);
+  ASSERT_TRUE(Log) << Err;
+  ASSERT_GE(Log->size(), 4u);
+
+  // The capture must stay interesting: all solved, and at least one
+  // repeated fingerprint so the replay crosses the cache/coalesce paths.
+  std::set<uint64_t> Fps;
+  for (const TrafficRecord &R : *Log) {
+    EXPECT_EQ(R.Outcome, "solved") << "job " << R.Job;
+    EXPECT_FALSE(R.Program.empty()) << "job " << R.Job;
+    ASSERT_TRUE(R.Prob) << "job " << R.Job;
+    Fps.insert(R.Fp);
+  }
+  EXPECT_LT(Fps.size(), Log->size()) << "no duplicate submission captured";
+
+  Engine E = Engine::standard(serveDefaultOptions());
+  SynthService Svc(E, ServiceOptions());
+  ReplayReport Report = replayTraffic(*Log, Svc); // fast timing
+  EXPECT_EQ(Report.Jobs, Log->size());
+  EXPECT_EQ(Report.OutcomeMatches, Log->size());
+  EXPECT_EQ(Report.ProgramMatches, Log->size());
+  EXPECT_TRUE(Report.ok()) << Report.Diffs.size() << " divergence(s), first: "
+                           << (Report.Diffs.empty()
+                                   ? ""
+                                   : Report.Diffs[0].Field + " of job " +
+                                         std::to_string(Report.Diffs[0].Job));
+}
+
+TEST(ReplayRegression, RecordedTimingAlsoReproduces) {
+  std::string Err;
+  std::optional<std::vector<TrafficRecord>> Log =
+      readTrafficLog(smokeLogPath(), &Err);
+  ASSERT_TRUE(Log) << Err;
+
+  Engine E = Engine::standard(serveDefaultOptions());
+  SynthService Svc(E, ServiceOptions());
+  ReplayOptions Opts;
+  Opts.TimeScale = 1.0; // honour the recorded inter-arrival gaps
+  ReplayReport Report = replayTraffic(*Log, Svc, Opts);
+  EXPECT_TRUE(Report.ok());
+  EXPECT_EQ(Report.OutcomeMatches, Log->size());
+}
+
+TEST(ReplayRegression, LiveRecordRoundTripReproduces) {
+  // Record: a lossless bus feeding a recorder while a service serves
+  // four jobs, one of them a repeat (a cache hit in the recording).
+  std::ostringstream Captured;
+  {
+    EventBus::Options BusOpts;
+    BusOpts.Policy = DropPolicy::Block;
+    std::shared_ptr<EventBus> Bus = EventBus::create(BusOpts);
+    TrafficRecorder Recorder(Bus, Captured);
+
+    Engine E = Engine::standard(serveDefaultOptions().eventBus(Bus));
+    {
+      SynthService Svc(E, ServiceOptions().workers(2));
+      std::vector<JobHandle> Handles;
+      for (unsigned Tag : {1u, 2u, 3u})
+        Handles.push_back(Svc.submit(fastProblem(Tag)));
+      for (JobHandle &H : Handles)
+        EXPECT_EQ(H.get().Result, Outcome::Solved);
+      JobHandle Repeat = Svc.submit(fastProblem(1));
+      EXPECT_EQ(Repeat.get().Result, Outcome::Solved);
+      Svc.drain();
+    }
+    Bus->flush();
+    EXPECT_EQ(Recorder.recordsWritten(), 4u);
+    EXPECT_EQ(Recorder.pendingJobs(), 0u);
+    EXPECT_EQ(Recorder.orphanCompletions(), 0u);
+  } // ~TrafficRecorder flushes the stream
+
+  // Parse the capture back.
+  std::vector<TrafficRecord> Records;
+  std::istringstream In(Captured.str());
+  std::string Line, Err;
+  while (std::getline(In, Line)) {
+    std::optional<TrafficRecord> R = parseTrafficRecord(Line, &Err);
+    ASSERT_TRUE(R) << Err << "\nline: " << Line;
+    Records.push_back(std::move(*R));
+  }
+  ASSERT_EQ(Records.size(), 4u);
+
+  // Replay against a fresh, bus-free service: everything reproduces.
+  Engine Fresh = Engine::standard(serveDefaultOptions());
+  SynthService Svc(Fresh, ServiceOptions().workers(2));
+  ReplayReport Report = replayTraffic(Records, Svc);
+  EXPECT_TRUE(Report.ok());
+  EXPECT_EQ(Report.OutcomeMatches, 4u);
+  EXPECT_EQ(Report.ProgramMatches, 4u);
+}
+
+TEST(ReplayRegression, TamperedRecordsAreDetected) {
+  std::string Err;
+  std::optional<std::vector<TrafficRecord>> Log =
+      readTrafficLog(smokeLogPath(), &Err);
+  ASSERT_TRUE(Log) << Err;
+  ASSERT_FALSE(Log->empty());
+
+  // Claim the first job timed out and the last synthesized a different
+  // program: the harness must flag exactly those fields.
+  Log->front().Outcome = "timeout";
+  Log->back().Program = "(head x0 2)";
+
+  Engine E = Engine::standard(serveDefaultOptions());
+  SynthService Svc(E, ServiceOptions());
+  ReplayReport Report = replayTraffic(*Log, Svc);
+  EXPECT_FALSE(Report.ok());
+  ASSERT_EQ(Report.Diffs.size(), 2u);
+  EXPECT_EQ(Report.Diffs[0].Field, "outcome");
+  EXPECT_EQ(Report.Diffs[0].Recorded, "timeout");
+  EXPECT_EQ(Report.Diffs[0].Replayed, "solved");
+  EXPECT_EQ(Report.Diffs[1].Field, "program");
+}
+
+TEST(ReplayRegression, RecordSerializationRoundTrips) {
+  TrafficRecord R;
+  R.Job = 17;
+  R.Fp = 0xdeadbeefcafef00dULL; // needs all 64 bits (hex-string encoding)
+  R.ExFp = 0xffffffffffffffffULL;
+  R.ArrivalNs = 123456789;
+  R.CompletedNs = 987654321;
+  R.Priority = -3;
+  R.DeadlineMs = 2500;
+  R.Outcome = "solved";
+  R.Source = "cache-hit";
+  R.Program = "(select (filter x0 (> age 10)) name age)";
+  R.Prob = std::make_shared<const Problem>(fastProblem(5));
+
+  std::string Err;
+  std::optional<TrafficRecord> Back =
+      parseTrafficRecord(trafficRecordToLine(R), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Job, R.Job);
+  EXPECT_EQ(Back->Fp, R.Fp);
+  EXPECT_EQ(Back->ExFp, R.ExFp);
+  EXPECT_EQ(Back->ArrivalNs, R.ArrivalNs);
+  EXPECT_EQ(Back->CompletedNs, R.CompletedNs);
+  EXPECT_EQ(Back->Priority, R.Priority);
+  EXPECT_EQ(Back->DeadlineMs, R.DeadlineMs);
+  EXPECT_EQ(Back->Outcome, R.Outcome);
+  EXPECT_EQ(Back->Source, R.Source);
+  EXPECT_EQ(Back->Program, R.Program);
+  ASSERT_TRUE(Back->Prob);
+  // The problem snapshot survives: same tables, same comparison mode.
+  ASSERT_EQ(Back->Prob->Inputs.size(), R.Prob->Inputs.size());
+  EXPECT_TRUE(Back->Prob->Inputs[0].equalsOrdered(R.Prob->Inputs[0]));
+  EXPECT_TRUE(Back->Prob->Output.equalsOrdered(R.Prob->Output));
+  EXPECT_EQ(Back->Prob->OrderedCompare, R.Prob->OrderedCompare);
+}
+
+TEST(ReplayRegression, MissingLogFileReportsError) {
+  std::string Err;
+  EXPECT_FALSE(readTrafficLog("/nonexistent/morpheus_traffic.jsonl", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/StatsParityTest.cpp - Event-derived vs in-band statistics --------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden parity between the two statistics accountings: the in-band
+/// counters every Solution carries (what `morpheus bench --json`
+/// aggregates) and the StatsSink numbers derived purely from the event
+/// stream. Both are produced by the SAME run — events and counters
+/// increment at the same sites — so over a lossless (DropPolicy::Block)
+/// bus the comparison is exact, per task and in aggregate, regardless of
+/// which tasks happen to time out on a slow runner. This is the check
+/// that catches a publish site drifting from the counter it mirrors.
+///
+/// Cross-RUN determinism (record once, replay forever) is a different
+/// property, covered by ReplayRegressionTest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bus/StatsSink.h"
+#include "spec/Abstraction.h"
+#include "suite/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace morpheus;
+
+namespace {
+
+constexpr int TimeoutMs = 1500;
+
+std::vector<BenchmarkTask> allTasks() {
+  std::vector<BenchmarkTask> Suite = morpheusSuite();
+  std::vector<BenchmarkTask> Sql = sqlSuite();
+  Suite.insert(Suite.end(), Sql.begin(), Sql.end());
+  return Suite;
+}
+
+/// Every integer counter must agree exactly; the elapsed-seconds doubles
+/// are summed in the same order on both sides (sequential suite, ordered
+/// lossless bus), so even they match bit for bit.
+void expectStatsEqual(const SynthesisStats &Ev, const SynthesisStats &InBand,
+                      const std::string &Where) {
+  EXPECT_EQ(Ev.HypothesesExplored, InBand.HypothesesExplored) << Where;
+  EXPECT_EQ(Ev.SketchesGenerated, InBand.SketchesGenerated) << Where;
+  EXPECT_EQ(Ev.SketchesRefuted, InBand.SketchesRefuted) << Where;
+  EXPECT_EQ(Ev.PartialFillsTried, InBand.PartialFillsTried) << Where;
+  EXPECT_EQ(Ev.PartialFillsPruned, InBand.PartialFillsPruned) << Where;
+  EXPECT_EQ(Ev.CandidatesChecked, InBand.CandidatesChecked) << Where;
+  EXPECT_EQ(Ev.Deduce.Calls, InBand.Deduce.Calls) << Where;
+  EXPECT_EQ(Ev.Deduce.Rejections, InBand.Deduce.Rejections) << Where;
+  EXPECT_EQ(Ev.Deduce.FastPathRejections, InBand.Deduce.FastPathRejections)
+      << Where;
+  EXPECT_EQ(Ev.Deduce.CacheHits, InBand.Deduce.CacheHits) << Where;
+  EXPECT_EQ(Ev.Deduce.SolverChecks, InBand.Deduce.SolverChecks) << Where;
+  EXPECT_EQ(Ev.Deduce.StoreHits, InBand.Deduce.StoreHits) << Where;
+  EXPECT_EQ(Ev.Deduce.StoreInserts, InBand.Deduce.StoreInserts) << Where;
+  EXPECT_EQ(Ev.TimedOut, InBand.TimedOut) << Where;
+  EXPECT_DOUBLE_EQ(Ev.ElapsedSeconds, InBand.ElapsedSeconds) << Where;
+  EXPECT_DOUBLE_EQ(Ev.WallSeconds, InBand.WallSeconds) << Where;
+}
+
+/// The satellite the issue names: run the full 108-task suite (80
+/// morpheus + 28 SQL) with a lossless bus attached and hold the
+/// event-derived statistics to golden parity with the per-task results.
+TEST(StatsParity, EventDerivedStatsMatchInBandCountersOnFullSuite) {
+  std::vector<BenchmarkTask> Suite = allTasks();
+  ASSERT_EQ(Suite.size(), 108u);
+
+  EventBus::Options BusOpts;
+  BusOpts.Policy = DropPolicy::Block; // parity needs every event
+  std::shared_ptr<EventBus> Bus = EventBus::create(BusOpts);
+  StatsSink Sink(Bus);
+
+  SynthesisConfig Cfg = configSpec2(std::chrono::milliseconds(TimeoutMs));
+  Cfg.Bus = Bus;
+  std::vector<TaskResult> Results = runSuite(Suite, Cfg);
+  Bus->flush();
+
+  // Lossless means lossless.
+  BusStats BS = Bus->stats();
+  EXPECT_EQ(BS.Dropped, 0u);
+  EXPECT_EQ(BS.Delivered, BS.Published);
+  EXPECT_GT(BS.Published, uint64_t(Suite.size())); // far more than finishes
+
+  // Per task: one SolveFinished record, in suite order (sequential run,
+  // ordered bus), whose snapshot equals the in-band counters exactly.
+  std::vector<StatsSink::SolveRecord> Records = Sink.solves();
+  ASSERT_EQ(Records.size(), Results.size());
+  SynthesisStats InBandAgg;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    EXPECT_EQ(Records[I].Outcome == int(Outcome::Solved), Results[I].Solved)
+        << Suite[I].Id;
+    EXPECT_EQ(!Records[I].Program.empty(), Results[I].Solved) << Suite[I].Id;
+    EXPECT_DOUBLE_EQ(Records[I].Seconds, Results[I].Seconds) << Suite[I].Id;
+    expectStatsEqual(Records[I].Stats, Results[I].Stats, Suite[I].Id);
+    InBandAgg += Results[I].Stats;
+  }
+
+  // Aggregate: the event-side sum equals the bench-harness-style sum.
+  expectStatsEqual(Sink.aggregate(), InBandAgg, "aggregate");
+
+  // Sequentially, one engine run IS the solve.
+  expectStatsEqual(Sink.engineAggregate(), InBandAgg, "engine aggregate");
+
+  // And the fine-grained per-occurrence events re-sum to the same totals
+  // — valid exactly because the run was sequential and the bus lossless.
+  EventTallies T = Sink.tallies();
+  EXPECT_EQ(T.EnginesFinished, Suite.size());
+  EXPECT_EQ(T.SolutionsFound, uint64_t(solvedCount(Results)));
+  EXPECT_EQ(T.SketchesGenerated, InBandAgg.SketchesGenerated);
+  EXPECT_EQ(T.SketchesRefuted, InBandAgg.SketchesRefuted);
+  EXPECT_EQ(T.PartialFillsTried, InBandAgg.PartialFillsTried);
+  EXPECT_EQ(T.PartialFillsPruned, InBandAgg.PartialFillsPruned);
+  EXPECT_EQ(T.CandidatesChecked, InBandAgg.CandidatesChecked);
+  EXPECT_EQ(T.SolverChecks, InBandAgg.Deduce.SolverChecks);
+  EXPECT_EQ(T.StoreHits, InBandAgg.Deduce.StoreHits);
+  // Every solver check verdict is viable or refuted; viable ones are
+  // exactly the checks that did NOT reject (rejections also come from
+  // the fast path, the verdict cache and the store, so only an
+  // inequality is structural here).
+  EXPECT_LE(T.SolverViable, T.SolverChecks);
+}
+
+/// Per-subscriber example filtering: a sink scoped to one example's
+/// fingerprint sees that task's records and nothing else, while an
+/// unfiltered sink on the same bus sees everything.
+TEST(StatsParity, ExampleFilterScopesASinkToOneTask) {
+  std::vector<BenchmarkTask> Suite = allTasks();
+  Suite.resize(3);
+
+  Problem First = toProblem(Suite[0]);
+  uint64_t FirstFp = exampleFingerprint(First.Inputs, First.Output);
+
+  EventBus::Options BusOpts;
+  BusOpts.Policy = DropPolicy::Block;
+  std::shared_ptr<EventBus> Bus = EventBus::create(BusOpts);
+  StatsSink All(Bus);
+  StatsSink Scoped(Bus, FirstFp);
+
+  SynthesisConfig Cfg = configSpec2(std::chrono::milliseconds(TimeoutMs));
+  Cfg.Bus = Bus;
+  std::vector<TaskResult> Results = runSuite(Suite, Cfg);
+  Bus->flush();
+
+  ASSERT_EQ(All.solves().size(), 3u);
+  std::vector<StatsSink::SolveRecord> ScopedRecords = Scoped.solves();
+  ASSERT_EQ(ScopedRecords.size(), 1u);
+  EXPECT_EQ(ScopedRecords[0].ExampleFp, FirstFp);
+  expectStatsEqual(ScopedRecords[0].Stats, Results[0].Stats, Suite[0].Id);
+  // The scoped tallies are exactly the first task's share of the stream.
+  EXPECT_EQ(Scoped.tallies().SketchesGenerated,
+            Results[0].Stats.SketchesGenerated);
+  EXPECT_EQ(Scoped.tallies().SolverChecks,
+            Results[0].Stats.Deduce.SolverChecks);
+}
+
+} // namespace

@@ -29,6 +29,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Engine.h"
+#include "bus/EventBus.h"
+#include "bus/Replay.h"
+#include "bus/StatsSink.h"
+#include "bus/TrafficRecorder.h"
 #include "io/Json.h"
 #include "io/ProblemIO.h"
 #include "io/ProgramIO.h"
@@ -43,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <iostream>
@@ -65,6 +70,8 @@ int usage(const char *Msg = nullptr) {
       "                                         suite\n"
       "  morpheus serve [options]               JSON-lines synthesis service\n"
       "                                         on stdin/stdout\n"
+      "  morpheus replay <log.jsonl> [options]  re-drive a recorded traffic\n"
+      "                                         log and diff the outcomes\n"
       "\n"
       "solve options:\n"
       "  --strategy sequential|portfolio  search strategy (default\n"
@@ -91,6 +98,10 @@ int usage(const char *Msg = nullptr) {
       "  --json PATH                      write a perf snapshot (per-task\n"
       "                                   solve times + candidate\n"
       "                                   throughput), e.g. BENCH_synth.json\n"
+      "  --bus                            attach a lossless event bus and\n"
+      "                                   cross-check event-derived stats\n"
+      "                                   against the in-band counters\n"
+      "                                   (exit 1 on divergence)\n"
       "\n"
       "serve options:\n"
       "  --workers N                      worker pool size (default:\n"
@@ -98,11 +109,26 @@ int usage(const char *Msg = nullptr) {
       "  --queue N                        bounded request queue (default 256)\n"
       "  --cache N                        result-cache entries (default 512,\n"
       "                                   0 disables)\n"
+      "  --record PATH                    write a replayable traffic log\n"
+      "                                   (JSON-lines, one line per job)\n"
       "  --strategy, --timeout, --threads, --spec, --no-deduction,\n"
       "  --sharing, --library             as for solve\n"
       "\n"
+      "replay options:\n"
+      "  --timing fast|recorded           submit back-to-back (default) or\n"
+      "                                   at the recorded inter-arrival gaps\n"
+      "  --speed X                        scale recorded gaps by X (0.5 =\n"
+      "                                   twice as fast; implies recorded)\n"
+      "  --no-deadlines, --no-priorities  drop the recorded deadlines /\n"
+      "                                   priorities\n"
+      "  --workers, --queue, --cache      service shape, as for serve\n"
+      "  engine flags                     as for serve; match the recording\n"
+      "                                   run for outcomes to reproduce\n"
+      "\n"
       "solve exit codes: 0 solved, 2 usage/input error, 3 timeout,\n"
-      "4 exhausted, 5 cancelled\n");
+      "4 exhausted, 5 cancelled\n"
+      "replay exit codes: 0 outcomes+programs reproduced, 1 diverged,\n"
+      "2 usage/input error\n");
   return 2;
 }
 
@@ -389,6 +415,7 @@ int runBench(ArgReader &Args) {
   int TimeoutMs = 5000;
   unsigned Threads = 0;
   size_t Limit = SIZE_MAX;
+  bool UseBus = false;
 
   while (!Args.done()) {
     std::string A = Args.next();
@@ -444,6 +471,8 @@ int runBench(ArgReader &Args) {
       if (!Args.value(A, V))
         return 2;
       JsonPath = V;
+    } else if (A == "--bus") {
+      UseBus = true;
     } else {
       return usage(("unknown option " + A).c_str());
     }
@@ -460,6 +489,19 @@ int runBench(ArgReader &Args) {
       SuiteName == "sql" ? sqlSuite() : morpheusSuite();
   if (Suite.size() > Limit)
     Suite.resize(Limit);
+
+  // --bus: the whole suite publishes to a lossless bus and the sink's
+  // event-derived numbers are held to the in-band counters afterwards —
+  // the runtime analog of tests/StatsParityTest.cpp.
+  std::shared_ptr<EventBus> Bus;
+  std::unique_ptr<StatsSink> Sink;
+  if (UseBus) {
+    EventBus::Options BusOpts;
+    BusOpts.Policy = DropPolicy::Block;
+    Bus = EventBus::create(BusOpts);
+    Sink = std::make_unique<StatsSink>(Bus);
+    Cfg.Bus = Bus;
+  }
 
   std::printf("suite %s (%zu tasks), config %s, strategy %s, timeout %d ms, "
               "sharing %s\n",
@@ -509,6 +551,48 @@ int runBench(ArgReader &Args) {
       return 2;
     }
     std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  if (Sink) {
+    Bus->flush();
+    SynthesisStats EvAgg = Sink->aggregate();
+    size_t EvSolves = Sink->solves().size();
+    bool Ok = EvSolves == Results.size() &&
+              EvAgg.HypothesesExplored == Agg.HypothesesExplored &&
+              EvAgg.SketchesGenerated == Agg.SketchesGenerated &&
+              EvAgg.SketchesRefuted == Agg.SketchesRefuted &&
+              EvAgg.PartialFillsTried == Agg.PartialFillsTried &&
+              EvAgg.PartialFillsPruned == Agg.PartialFillsPruned &&
+              EvAgg.CandidatesChecked == Agg.CandidatesChecked &&
+              EvAgg.Deduce.SolverChecks == Agg.Deduce.SolverChecks &&
+              EvAgg.Deduce.StoreHits == Agg.Deduce.StoreHits;
+    // One engine run IS the solve under the sequential strategy, so the
+    // per-occurrence events must re-sum to the same totals too. (The
+    // portfolio's losers are cancelled mid-flight; their event streams
+    // are real work the in-band per-solve numbers also include, but
+    // delivery interleaving makes per-kind equality the only meaningful
+    // sequential check.)
+    if (Strat == Strategy::Sequential) {
+      EventTallies T = Sink->tallies();
+      Ok = Ok && T.SketchesGenerated == Agg.SketchesGenerated &&
+           T.SketchesRefuted == Agg.SketchesRefuted &&
+           T.PartialFillsTried == Agg.PartialFillsTried &&
+           T.PartialFillsPruned == Agg.PartialFillsPruned &&
+           T.CandidatesChecked == Agg.CandidatesChecked &&
+           T.SolverChecks == Agg.Deduce.SolverChecks &&
+           T.StoreHits == Agg.Deduce.StoreHits;
+    }
+    BusStats BS = Bus->stats();
+    std::printf("bus: %llu published, %llu delivered, %llu dropped, "
+                "max batch %llu — event-derived stats %s\n",
+                (unsigned long long)BS.Published,
+                (unsigned long long)BS.Delivered,
+                (unsigned long long)BS.Dropped,
+                (unsigned long long)BS.MaxBatch,
+                Ok ? "match in-band counters" : "DIVERGE from in-band "
+                                               "counters");
+    if (!Ok)
+      return 1;
   }
   return 0;
 }
@@ -569,13 +653,17 @@ void printResponse(const PendingRequest &Req) {
 int runServe(ArgReader &Args) {
   EngineOptions Opts;
   Opts.timeout(std::chrono::milliseconds(30000));
-  std::string LibraryName = "tidy";
+  std::string LibraryName = "tidy", RecordPath;
   ServiceOptions SvcOpts;
 
   while (!Args.done()) {
     std::string A = Args.next();
     std::string V;
-    if (A == "--workers") {
+    if (A == "--record") {
+      if (!Args.value(A, V))
+        return 2;
+      RecordPath = V;
+    } else if (A == "--workers") {
       if (!Args.value(A, V))
         return 2;
       std::optional<int> N = parseIntArg(V);
@@ -602,6 +690,26 @@ int runServe(ArgReader &Args) {
     } else {
       return usage(("unknown option " + A).c_str());
     }
+  }
+
+  // --record: a lossless bus feeds the traffic recorder; declared before
+  // the service so the recorder outlives it and catches the completion
+  // events of jobs the shutdown path cancels.
+  std::shared_ptr<EventBus> Bus;
+  std::ofstream RecordOut;
+  std::unique_ptr<TrafficRecorder> Recorder;
+  if (!RecordPath.empty()) {
+    RecordOut.open(RecordPath);
+    if (!RecordOut) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   RecordPath.c_str());
+      return 2;
+    }
+    EventBus::Options BusOpts;
+    BusOpts.Policy = DropPolicy::Block;
+    Bus = EventBus::create(BusOpts);
+    Recorder = std::make_unique<TrafficRecorder>(Bus, RecordOut);
+    Opts.eventBus(Bus);
   }
 
   Engine E =
@@ -707,7 +815,114 @@ int runServe(ArgReader &Args) {
                (unsigned long long)Stats.Cache.Coalesced,
                (unsigned long long)(Stats.QueueDeadlineExpired +
                                     Stats.RiderDeadlineExpired));
+  if (Recorder) {
+    Bus->flush();
+    std::fprintf(stderr, "recorded %llu job(s) to %s\n",
+                 (unsigned long long)Recorder->recordsWritten(),
+                 RecordPath.c_str());
+  }
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// replay: re-drive a recorded traffic log, diff outcomes and programs
+//===----------------------------------------------------------------------===//
+
+int runReplay(ArgReader &Args) {
+  std::string LogPath, LibraryName = "tidy";
+  EngineOptions Opts;
+  Opts.timeout(std::chrono::milliseconds(30000));
+  ServiceOptions SvcOpts;
+  ReplayOptions ROpts;
+
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--timing") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V == "fast")
+        ROpts.TimeScale = 0;
+      else if (V == "recorded")
+        ROpts.TimeScale = 1;
+      else
+        return usage("unknown timing (use fast or recorded)");
+    } else if (A == "--speed") {
+      if (!Args.value(A, V))
+        return 2;
+      char *End = nullptr;
+      double S = std::strtod(V.c_str(), &End);
+      if (V.empty() || End != V.c_str() + V.size() || S < 0 ||
+          !std::isfinite(S))
+        return usage("--speed expects a non-negative factor");
+      ROpts.TimeScale = S;
+    } else if (A == "--no-deadlines") {
+      ROpts.ApplyDeadlines = false;
+    } else if (A == "--no-priorities") {
+      ROpts.ApplyPriorities = false;
+    } else if (A == "--workers") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--workers expects a number");
+      SvcOpts.workers(unsigned(*N));
+    } else if (A == "--queue") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N || *N == 0)
+        return usage("--queue expects a positive number");
+      SvcOpts.queueCapacity(size_t(*N));
+    } else if (A == "--cache") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--cache expects a number");
+      SvcOpts.cacheCapacity(size_t(*N));
+    } else if (int E = engineArg(Args, A, Opts, LibraryName); E >= 0) {
+      if (E > 0)
+        return E;
+    } else if (!A.empty() && A[0] == '-') {
+      return usage(("unknown option " + A).c_str());
+    } else if (LogPath.empty()) {
+      LogPath = A;
+    } else {
+      return usage("more than one log file given");
+    }
+  }
+  if (LogPath.empty())
+    return usage("replay needs a traffic log");
+
+  std::string Err;
+  std::optional<std::vector<TrafficRecord>> Records =
+      readTrafficLog(LogPath, &Err);
+  if (!Records) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  Engine E =
+      LibraryName == "sql" ? Engine::sql(Opts) : Engine::standard(Opts);
+  SynthService Svc(E, SvcOpts);
+
+  std::printf("replaying %zu job(s) from %s (%s timing)\n", Records->size(),
+              LogPath.c_str(),
+              ROpts.TimeScale == 0
+                  ? "fast"
+                  : ROpts.TimeScale == 1 ? "recorded" : "scaled");
+  ReplayReport Report = replayTraffic(std::move(*Records), Svc, ROpts);
+
+  for (const ReplayDiff &D : Report.Diffs)
+    std::printf("job %llu %s: recorded %s, replayed %s\n",
+                (unsigned long long)D.Job, D.Field.c_str(),
+                D.Recorded.c_str(), D.Replayed.c_str());
+  std::printf("replay: %zu job(s), %zu/%zu outcomes reproduced, %zu/%zu "
+              "programs reproduced\n",
+              Report.Jobs, Report.OutcomeMatches, Report.Jobs,
+              Report.ProgramMatches, Report.Jobs);
+  return Report.ok() ? 0 : 1;
 }
 
 } // namespace
@@ -726,6 +941,8 @@ int main(int argc, char **argv) {
     return runBench(Args);
   if (Cmd == "serve")
     return runServe(Args);
+  if (Cmd == "replay")
+    return runReplay(Args);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help")
     return usage();
   return usage(("unknown command '" + Cmd + "'").c_str());

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Record -> replay round-trip harness over the morpheus CLI.
+#
+# Two modes:
+#
+#   replay.sh --log traffic.jsonl [-- <replay flags...>]
+#       Re-drive an existing traffic log (e.g. tests/traffic/*.jsonl or a
+#       capture from a production `morpheus serve --record`) and fail when
+#       any outcome or program diverges from the recording.
+#
+#   replay.sh --requests requests.jsonl [-- <serve/replay flags...>]
+#       Full round trip: serve the JSON-lines requests with --record,
+#       then immediately replay the capture against a fresh service. This
+#       is the self-test: whatever the service just did must reproduce.
+#
+# Flags before `--` configure the harness; everything after `--` is passed
+# to both `morpheus serve` (recording leg) and `morpheus replay` verbatim,
+# so engine shape (--timeout, --spec, ...) stays consistent across legs.
+#
+#   MORPHEUS=path/to/morpheus   binary override (default: ./build/morpheus
+#                               relative to the repo root, then PATH)
+#
+# Exit: 0 reproduced, 1 diverged, 2 usage/environment error.
+
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+morpheus="${MORPHEUS:-}"
+if [ -z "$morpheus" ]; then
+  if [ -x "$here/build/morpheus" ]; then
+    morpheus="$here/build/morpheus"
+  else
+    morpheus="$(command -v morpheus || true)"
+  fi
+fi
+if [ -z "$morpheus" ] || [ ! -x "$morpheus" ]; then
+  echo "replay.sh: no morpheus binary (build the repo or set MORPHEUS)" >&2
+  exit 2
+fi
+
+log="" requests=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --log)      log="${2:?--log needs a path}"; shift 2 ;;
+    --requests) requests="${2:?--requests needs a path}"; shift 2 ;;
+    --) shift; break ;;
+    -h|--help) sed -n '2,23p' "$0"; exit 0 ;;
+    *) echo "replay.sh: unknown flag $1 (use --log or --requests)" >&2; exit 2 ;;
+  esac
+done
+
+if [ -n "$log" ] && [ -n "$requests" ]; then
+  echo "replay.sh: --log and --requests are mutually exclusive" >&2
+  exit 2
+fi
+if [ -z "$log" ] && [ -z "$requests" ]; then
+  echo "replay.sh: need --log traffic.jsonl or --requests requests.jsonl" >&2
+  exit 2
+fi
+
+if [ -n "$requests" ]; then
+  if [ ! -r "$requests" ]; then
+    echo "replay.sh: cannot read $requests" >&2
+    exit 2
+  fi
+  log="$(mktemp "${TMPDIR:-/tmp}/morpheus-traffic.XXXXXX.jsonl")"
+  trap 'rm -f "$log"' EXIT
+  echo "recording: serve $* < $requests -> $log"
+  if ! "$morpheus" serve --record "$log" "$@" < "$requests" > /dev/null; then
+    echo "replay.sh: recording leg failed" >&2
+    exit 2
+  fi
+fi
+
+echo "replaying: $log"
+"$morpheus" replay "$log" "$@"
+status=$?
+if [ $status -eq 0 ]; then
+  echo "replay.sh: OK — recording reproduced"
+else
+  echo "replay.sh: DIVERGED (exit $status)" >&2
+fi
+exit $status
