@@ -1,0 +1,75 @@
+//===- analysis/TableEnum.cpp - Small concrete tables for the linter ----------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TableEnum.h"
+
+using namespace morpheus;
+
+const std::vector<Table> &morpheus::analysisSingleTables() {
+  static const std::vector<Table> *Tables = new std::vector<Table>{
+      // Minimal: one numeric column, distinct values.
+      makeTable({{"a", CellType::Num}}, {{num(1)}, {num(2)}}),
+      // One key column with duplicates + one value column: the group_by /
+      // summarise / distinct shape (2 groups over 3 rows).
+      makeTable({{"k", CellType::Str}, {"v", CellType::Num}},
+                {{str("x"), num(1)}, {str("x"), num(2)}, {str("y"), num(3)}}),
+      // Wide numeric: gather/select/mutate/arrange have column room. The
+      // duplicate in `id` keeps distinct/group_by applicable here too.
+      makeTable({{"id", CellType::Num},
+                 {"m1", CellType::Num},
+                 {"m2", CellType::Num}},
+                {{num(1), num(10), num(20)},
+                 {num(1), num(30), num(40)},
+                 {num(2), num(50), num(60)}}),
+      // Spreadable: (key, val) complete over 2x2 combinations — spread
+      // requires every key combination present exactly once per remainder
+      // row.
+      makeTable({{"id", CellType::Num},
+                 {"key", CellType::Str},
+                 {"val", CellType::Num}},
+                {{num(1), str("p"), num(7)},
+                 {num(1), str("q"), num(8)},
+                 {num(2), str("p"), num(9)},
+                 {num(2), str("q"), num(4)}}),
+      // Separable strings ("a_1" splits at the underscore) next to a
+      // second string column so unite has a pair to join.
+      makeTable({{"s", CellType::Str}, {"t", CellType::Str}},
+                {{str("a_1"), str("u")}, {str("b_2"), str("v")}}),
+      // A fully duplicated row: distinct has something to drop (its
+      // kernel rejects the no-op case, so dup keys alone are not enough).
+      makeTable({{"c", CellType::Str}, {"d", CellType::Num}},
+                {{str("x"), num(1)}, {str("x"), num(1)}, {str("y"), num(2)}}),
+      // Grouped-friendly 3-column mix: two key columns (group_by on pairs)
+      // and enough rows that filter predicates split them.
+      makeTable({{"g", CellType::Str},
+                 {"h", CellType::Str},
+                 {"v", CellType::Num}},
+                {{str("x"), str("p"), num(1)},
+                 {str("x"), str("q"), num(2)},
+                 {str("y"), str("p"), num(2)},
+                 {str("y"), str("q"), num(5)}}),
+  };
+  return *Tables;
+}
+
+const std::vector<std::pair<Table, Table>> &morpheus::analysisTablePairs() {
+  static const std::vector<std::pair<Table, Table>> *Pairs =
+      new std::vector<std::pair<Table, Table>>{
+          // One shared key column, overlapping values, one private column
+          // each: the canonical inner_join shape.
+          {makeTable({{"k", CellType::Num}, {"a", CellType::Num}},
+                     {{num(1), num(10)}, {num(2), num(20)}}),
+           makeTable({{"k", CellType::Num}, {"b", CellType::Num}},
+                     {{num(1), num(30)}, {num(3), num(40)}})},
+          // Duplicated keys on the left (join multiplies rows) and a
+          // string payload on the right.
+          {makeTable({{"k", CellType::Str}, {"a", CellType::Num}},
+                     {{str("x"), num(1)}, {str("x"), num(2)}, {str("y"), num(3)}}),
+           makeTable({{"k", CellType::Str}, {"b", CellType::Str}},
+                     {{str("x"), str("u")}, {str("y"), str("v")}})},
+      };
+  return *Pairs;
+}

@@ -1,0 +1,42 @@
+//===- analysis/TableEnum.h - Small concrete tables for the linter -*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete-input universe of the abstraction-soundness check
+/// (analysis/SpecLint.h): a fixed, deterministic family of small tables
+/// chosen so every standard component has at least one instantiation it
+/// accepts — duplicated key values (group_by/summarise/spread/distinct),
+/// a separable string column (separate), uniteable column pairs (unite),
+/// wide numeric tables (gather/select/mutate), and joinable pairs sharing
+/// exactly one key column (inner_join).
+///
+/// The family is data, not random: the linter's verdicts must be stable
+/// across runs, machines and CI shards, so the tables are enumerated from
+/// literal cell values with no RNG anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_ANALYSIS_TABLEENUM_H
+#define MORPHEUS_ANALYSIS_TABLEENUM_H
+
+#include "table/Table.h"
+
+#include <vector>
+
+namespace morpheus {
+
+/// The single-input family: every table a unary component is exercised
+/// against. Small (2-4 rows, 1-4 columns) so kernel applications and the
+/// per-result solver checks stay cheap.
+const std::vector<Table> &analysisSingleTables();
+
+/// The two-input family for binary components (inner_join): pairs sharing
+/// at least one column name with overlapping key values.
+const std::vector<std::pair<Table, Table>> &analysisTablePairs();
+
+} // namespace morpheus
+
+#endif // MORPHEUS_ANALYSIS_TABLEENUM_H

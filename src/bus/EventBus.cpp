@@ -81,7 +81,7 @@ EventBus::EventBus(Options OptsIn)
 
 EventBus::~EventBus() {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Stopping = true;
   }
   DrainCV.notify_all();
@@ -163,7 +163,7 @@ void EventBus::drainLoop() {
   for (;;) {
     Batch.clear();
     if (popBatch(Batch) == 0) {
-      std::unique_lock<std::mutex> Lock(M);
+      UniqueLock Lock(M);
       if (Stopping) {
         // A producer may have claimed a slot between our pop and the
         // stop flag; by contract no publisher outlives the bus (they
@@ -179,7 +179,7 @@ void EventBus::drainLoop() {
 
     bool InBatchAny = false;
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       Subs = Subscribers;
     }
     uint64_t DeliveredAny = 0;
@@ -204,7 +204,7 @@ void EventBus::drainLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       ++BatchCount;
       MaxBatchSeen = std::max<uint64_t>(MaxBatchSeen, Batch.size());
       DeliveredToAny += DeliveredAny;
@@ -217,7 +217,7 @@ void EventBus::drainLoop() {
 }
 
 uint64_t EventBus::subscribe(Subscription S) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Subscriber Sub;
   Sub.Id = NextSubscriberId++;
   Sub.S = std::move(S);
@@ -228,7 +228,7 @@ uint64_t EventBus::subscribe(Subscription S) {
 }
 
 void EventBus::unsubscribe(uint64_t Id) {
-  std::unique_lock<std::mutex> Lock(M);
+  UniqueLock Lock(M);
   Subscribers.erase(std::remove_if(Subscribers.begin(), Subscribers.end(),
                                    [&](const Subscriber &S) {
                                      return S.Id == Id;
@@ -257,7 +257,7 @@ void EventBus::flush() {
   assert(std::this_thread::get_id() != Drain.get_id() &&
          "flush() from a subscriber callback would self-deadlock");
   uint64_t Target = EnqueuePos.load(std::memory_order_acquire);
-  std::unique_lock<std::mutex> Lock(M);
+  UniqueLock Lock(M);
   DrainCV.notify_all(); // cut the idle wait short
   FlushCV.wait(Lock, [&] {
     return DeliveredCount.load(std::memory_order_acquire) >= Target;
@@ -269,7 +269,7 @@ BusStats EventBus::stats() const {
   S.Published = EnqueuePos.load(std::memory_order_relaxed);
   S.Dropped = DroppedCount.load(std::memory_order_relaxed);
   S.Skipped = SkippedCount.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   S.Delivered = DeliveredToAny;
   S.Batches = BatchCount;
   S.MaxBatch = MaxBatchSeen;

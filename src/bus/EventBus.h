@@ -56,12 +56,11 @@
 #define MORPHEUS_BUS_EVENTBUS_H
 
 #include "bus/Event.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -184,15 +183,15 @@ private:
   std::atomic<uint64_t> DroppedCount{0};
   std::atomic<uint64_t> SkippedCount{0};
 
-  mutable std::mutex M; ///< subscribers + stats aggregates + CVs
-  std::condition_variable DrainCV;  ///< wakes the drain thread (flush/stop)
-  std::condition_variable FlushCV;  ///< signals delivery progress
-  std::vector<Subscriber> Subscribers;
-  uint64_t NextSubscriberId = 1;
-  bool Stopping = false;
-  uint64_t BatchCount = 0;
-  uint64_t MaxBatchSeen = 0;
-  uint64_t DeliveredToAny = 0;
+  mutable Mutex M; ///< subscribers + stats aggregates + CVs
+  CondVar DrainCV; ///< wakes the drain thread (flush/stop)
+  CondVar FlushCV; ///< signals delivery progress
+  std::vector<Subscriber> Subscribers GUARDED_BY(M);
+  uint64_t NextSubscriberId GUARDED_BY(M) = 1;
+  bool Stopping GUARDED_BY(M) = false;
+  uint64_t BatchCount GUARDED_BY(M) = 0;
+  uint64_t MaxBatchSeen GUARDED_BY(M) = 0;
+  uint64_t DeliveredToAny GUARDED_BY(M) = 0;
 
   std::thread Drain;
 };

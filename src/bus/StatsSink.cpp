@@ -33,7 +33,7 @@ StatsSink::StatsSink(std::shared_ptr<EventBus> BusIn, uint64_t ExampleFilter)
 StatsSink::~StatsSink() { Bus->unsubscribe(SubId); }
 
 void StatsSink::onBatch(const std::vector<Event> &Batch) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (const Event &E : Batch) {
     switch (E.Kind) {
     case EventKind::SketchGenerated:
@@ -84,21 +84,21 @@ void StatsSink::onBatch(const std::vector<Event> &Batch) {
 }
 
 std::vector<StatsSink::SolveRecord> StatsSink::solves() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Records;
 }
 
 SynthesisStats StatsSink::aggregate() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Agg;
 }
 
 SynthesisStats StatsSink::engineAggregate() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return EngineAgg;
 }
 
 EventTallies StatsSink::tallies() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Tallies;
 }

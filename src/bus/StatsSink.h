@@ -32,9 +32,8 @@
 #define MORPHEUS_BUS_STATSSINK_H
 
 #include "bus/EventBus.h"
+#include "support/Sync.h"
 #include "synth/Synthesizer.h"
-
-#include <mutex>
 
 namespace morpheus {
 
@@ -92,11 +91,11 @@ private:
   std::shared_ptr<EventBus> Bus;
   uint64_t SubId = 0;
 
-  mutable std::mutex M;
-  std::vector<SolveRecord> Records;
-  SynthesisStats Agg;
-  SynthesisStats EngineAgg;
-  EventTallies Tallies;
+  mutable Mutex M;
+  std::vector<SolveRecord> Records GUARDED_BY(M);
+  SynthesisStats Agg GUARDED_BY(M);
+  SynthesisStats EngineAgg GUARDED_BY(M);
+  EventTallies Tallies GUARDED_BY(M);
 };
 
 } // namespace morpheus

@@ -192,7 +192,7 @@ TrafficRecorder::~TrafficRecorder() {
 }
 
 void TrafficRecorder::onBatch(const std::vector<Event> &Batch) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (const Event &E : Batch) {
     if (E.Kind == EventKind::JobSubmitted) {
       TrafficRecord R;
@@ -224,16 +224,16 @@ void TrafficRecorder::onBatch(const std::vector<Event> &Batch) {
 }
 
 uint64_t TrafficRecorder::recordsWritten() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Written;
 }
 
 uint64_t TrafficRecorder::pendingJobs() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Pending.size();
 }
 
 uint64_t TrafficRecorder::orphanCompletions() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Orphans;
 }

@@ -39,9 +39,9 @@
 #define MORPHEUS_BUS_TRAFFICRECORDER_H
 
 #include "bus/EventBus.h"
+#include "support/Sync.h"
 
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -103,11 +103,11 @@ private:
   std::ostream &Out;
   uint64_t SubId = 0;
 
-  mutable std::mutex M;
+  mutable Mutex M;
   /// Job id -> the half-record started by its JobSubmitted event.
-  std::unordered_map<uint64_t, TrafficRecord> Pending;
-  uint64_t Written = 0;
-  uint64_t Orphans = 0;
+  std::unordered_map<uint64_t, TrafficRecord> Pending GUARDED_BY(M);
+  uint64_t Written GUARDED_BY(M) = 0;
+  uint64_t Orphans GUARDED_BY(M) = 0;
 };
 
 } // namespace morpheus

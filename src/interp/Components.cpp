@@ -347,6 +347,11 @@ std::optional<Table> applySelect(const Table &T,
                                  const std::vector<std::string> &Cols) {
   if (!allDistinctColumns(T, Cols))
     return std::nullopt;
+  // Keeping every column is never useful in an example-driven search and
+  // Table 2 relies on it: the spec's col(y) < col(x) is sound only if the
+  // kernel rejects full-width selects (found by `morpheus analyze`).
+  if (Cols.size() == T.numCols())
+    return std::nullopt;
   // Pure column-pointer shuffle: no cells move.
   std::vector<Column> NewCols;
   std::vector<ColumnPtr> Out;
@@ -379,6 +384,12 @@ std::optional<Table> applyFilter(const Table &T, const TermPtr &Pred) {
     if (isTruthy(*V))
       Keep.push_back(R);
   }
+  // The paper's filter footnote (and its Table 2 spec row(y) < row(x)):
+  // a predicate that keeps every row is a no-op the search must not
+  // consider, exactly like the no-op distinct below (found by `morpheus
+  // analyze`).
+  if (Keep.size() == T.numRows())
+    return std::nullopt;
   std::vector<ColumnPtr> Out;
   Out.reserve(T.numCols());
   for (size_t C = 0; C != T.numCols(); ++C)

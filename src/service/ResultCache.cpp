@@ -17,7 +17,7 @@ std::optional<Solution> ResultCache::getLocked(uint64_t Key) {
 }
 
 std::optional<Solution> ResultCache::lookup(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::optional<Solution> S = getLocked(Key);
   if (S)
     ++Counters.Hits;
@@ -27,7 +27,7 @@ std::optional<Solution> ResultCache::lookup(uint64_t Key) {
 }
 
 std::optional<Solution> ResultCache::probe(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::optional<Solution> S = getLocked(Key);
   if (S)
     ++Counters.Hits;
@@ -35,24 +35,24 @@ std::optional<Solution> ResultCache::probe(uint64_t Key) {
 }
 
 std::optional<Solution> ResultCache::peek(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return getLocked(Key);
 }
 
 void ResultCache::noteMiss() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Counters.Misses;
 }
 
 void ResultCache::reclassifyMissAsHit() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (Counters.Misses)
     --Counters.Misses;
   ++Counters.Hits;
 }
 
 std::optional<uint64_t> ResultCache::insert(uint64_t Key, Solution S) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Counters.Insertions;
   if (Capacity == 0)
     return std::nullopt;
@@ -75,16 +75,16 @@ std::optional<uint64_t> ResultCache::insert(uint64_t Key, Solution S) {
 }
 
 void ResultCache::noteCoalesced() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Counters.Coalesced;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Lru.size();
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Counters;
 }

@@ -25,10 +25,10 @@
 #define MORPHEUS_SERVICE_RESULTCACHE_H
 
 #include "api/Engine.h"
+#include "support/Sync.h"
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 namespace morpheus {
@@ -97,13 +97,13 @@ private:
   using LruList = std::list<std::pair<uint64_t, Solution>>;
 
   /// The shared find-and-bump; caller holds M and does its own counting.
-  std::optional<Solution> getLocked(uint64_t Key);
+  std::optional<Solution> getLocked(uint64_t Key) REQUIRES(M);
 
   const size_t Capacity;
-  mutable std::mutex M;
-  LruList Lru;
-  std::unordered_map<uint64_t, LruList::iterator> Index;
-  CacheStats Counters;
+  mutable Mutex M;
+  LruList Lru GUARDED_BY(M);
+  std::unordered_map<uint64_t, LruList::iterator> Index GUARDED_BY(M);
+  CacheStats Counters GUARDED_BY(M);
 };
 
 } // namespace morpheus

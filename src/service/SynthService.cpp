@@ -53,12 +53,13 @@ std::string_view morpheus::resultSourceName(ResultSource S) {
 
 struct JobHandle::JobState {
   /// Guards Status/Source/Result and backs CV. Fp, Svc and Deadline are
-  /// immutable after submit; Job is guarded by the *service* mutex.
-  mutable std::mutex M;
-  std::condition_variable CV;
-  JobStatus Status = JobStatus::Queued;
-  ResultSource Source = ResultSource::Solve;
-  Solution Result;
+  /// immutable after submit; Job is guarded by the *service* mutex (an
+  /// aliasing relation GUARDED_BY cannot express across objects).
+  mutable Mutex M;
+  CondVar CV;
+  JobStatus Status GUARDED_BY(M) = JobStatus::Queued;
+  ResultSource Source GUARDED_BY(M) = ResultSource::Solve;
+  Solution Result GUARDED_BY(M);
   uint64_t Fp = 0;
   /// Bus identity, immutable after submit: the per-submission job id and
   /// the example fingerprint events are scoped to. Both zero when the
@@ -76,27 +77,29 @@ uint64_t JobHandle::fingerprint() const { return State ? State->Fp : 0; }
 
 JobStatus JobHandle::status() const {
   assert(State && "status() on an invalid handle");
-  std::lock_guard<std::mutex> Lock(State->M);
+  MutexLock Lock(State->M);
   return State->Status;
 }
 
 ResultSource JobHandle::source() const {
   assert(State && "source() on an invalid handle");
-  std::lock_guard<std::mutex> Lock(State->M);
+  MutexLock Lock(State->M);
   return State->Source;
 }
 
 const Solution &JobHandle::get() const {
   assert(State && "get() on an invalid handle");
-  std::unique_lock<std::mutex> Lock(State->M);
-  State->CV.wait(Lock, [&] { return State->Status == JobStatus::Done; });
+  UniqueLock Lock(State->M);
+  State->CV.wait(Lock, [&]() NO_THREAD_SAFETY_ANALYSIS {
+    return State->Status == JobStatus::Done;
+  });
   return State->Result;
 }
 
 bool JobHandle::waitFor(std::chrono::milliseconds Timeout) const {
   assert(State && "waitFor() on an invalid handle");
-  std::unique_lock<std::mutex> Lock(State->M);
-  return State->CV.wait_for(Lock, Timeout, [&] {
+  UniqueLock Lock(State->M);
+  return State->CV.wait_for(Lock, Timeout, [&]() NO_THREAD_SAFETY_ANALYSIS {
     return State->Status == JobStatus::Done;
   });
 }
@@ -105,7 +108,7 @@ void JobHandle::cancel() const {
   if (!State)
     return;
   {
-    std::lock_guard<std::mutex> Lock(State->M);
+    MutexLock Lock(State->M);
     if (State->Status == JobStatus::Done)
       return;
   }
@@ -181,7 +184,7 @@ SynthService::SynthService(Engine Eng, ServiceOptions Opts)
 
 SynthService::~SynthService() {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     ShuttingDown = true;
     // Queued jobs will never run: complete their handles as Cancelled.
     for (const std::shared_ptr<Work> &W : Queue) {
@@ -247,7 +250,7 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
     }
   }
 
-  std::unique_lock<std::mutex> Lock(M);
+  UniqueLock Lock(M);
   for (;;) {
     if (ShuttingDown) {
       if (complete(State, cancelledSolution(), ResultSource::QueueCancelled))
@@ -292,7 +295,7 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
         // Riding a solve that already started: the reaper still
         // completes this handle as Timeout at its own deadline if the
         // result hasn't arrived.
-        std::lock_guard<std::mutex> SL(State->M);
+        MutexLock SL(State->M);
         State->Status = JobStatus::Running;
         if (State->Deadline)
           DeadlineChanged.notify_one();
@@ -327,7 +330,7 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
     // checks — the identical problem may have completed meanwhile. A job
     // with a deadline waits only until that deadline: saturation lasting
     // past it is exactly the tail-latency case the deadline bounds.
-    auto SlotFree = [&] {
+    auto SlotFree = [&]() NO_THREAD_SAFETY_ANALYSIS {
       return ShuttingDown || Queue.size() < Opts.queueCapacity();
     };
     if (State->Deadline) {
@@ -372,9 +375,11 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
 }
 
 void SynthService::workerLoop() {
-  std::unique_lock<std::mutex> Lock(M);
+  UniqueLock Lock(M);
   for (;;) {
-    WorkAvailable.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+    WorkAvailable.wait(Lock, [&]() NO_THREAD_SAFETY_ANALYSIS {
+      return ShuttingDown || !Queue.empty();
+    });
     if (Queue.empty()) {
       if (ShuttingDown)
         return;
@@ -421,7 +426,7 @@ void SynthService::workerLoop() {
     RunningWorks.push_back(W);
     ++Counters.SolvesRun;
     for (const std::shared_ptr<JobHandle::JobState> &St : W->Waiters) {
-      std::lock_guard<std::mutex> SL(St->M);
+      MutexLock SL(St->M);
       St->Status = JobStatus::Running;
     }
 
@@ -496,7 +501,7 @@ SynthService::refutationScopeFor(const Problem &Prob) {
 }
 
 void SynthService::cancelJob(const std::shared_ptr<JobHandle::JobState> &State) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::shared_ptr<Work> W = State->Job;
   if (!W) {
     // Completed (or completing) since the caller's check; complete() is a
@@ -547,7 +552,7 @@ bool SynthService::complete(const std::shared_ptr<JobHandle::JobState> &State,
   ResultSource Src;
   HypPtr Prog;
   {
-    std::lock_guard<std::mutex> Lock(State->M);
+    MutexLock Lock(State->M);
     if (State->Status == JobStatus::Done)
       return false;
     State->Status = JobStatus::Done;
@@ -618,7 +623,7 @@ void SynthService::unregisterInflight(const std::shared_ptr<Work> &W) {
 }
 
 void SynthService::reaperLoop() {
-  std::unique_lock<std::mutex> Lock(M);
+  UniqueLock Lock(M);
   while (!ShuttingDown) {
     // Earliest deadline across every live job — queued or riding a
     // running solve: each handle must complete as Timeout at its own
@@ -678,13 +683,14 @@ void SynthService::reaperLoop() {
 }
 
 void SynthService::drain() {
-  std::unique_lock<std::mutex> Lock(M);
-  SpaceAvailable.wait(Lock,
-                      [&] { return Queue.empty() && RunningCount == 0; });
+  UniqueLock Lock(M);
+  SpaceAvailable.wait(Lock, [&]() NO_THREAD_SAFETY_ANALYSIS {
+    return Queue.empty() && RunningCount == 0;
+  });
 }
 
 ServiceStats SynthService::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ServiceStats S = Counters;
   S.Cache = Cache.stats();
   S.RefutationScopes = RefScopes.size();

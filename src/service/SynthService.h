@@ -54,9 +54,9 @@
 
 #include "api/Engine.h"
 #include "service/ResultCache.h"
+#include "support/Sync.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <thread>
 
@@ -236,23 +236,25 @@ private:
   /// backstop.
   void reaperLoop();
   /// Completes (as QueueDeadline Timeout) every waiter of \p W whose own
-  /// deadline has passed and recomputes the solve clamp. Caller holds M.
-  void shedExpiredWaiters(Work &W);
+  /// deadline has passed and recomputes the solve clamp.
+  void shedExpiredWaiters(Work &W) REQUIRES(M);
   /// Removes \p W's Inflight entry if it is still the registered one (a
   /// doomed work may have been replaced by a fresh identical submission).
-  void unregisterInflight(const std::shared_ptr<Work> &W);
+  void unregisterInflight(const std::shared_ptr<Work> &W) REQUIRES(M);
   /// The refutation store scoped to \p Prob's example, created on first
   /// use — the deduction analog of the ResultCache: a job whose result
   /// was evicted (or whose budget differs, so its problem fingerprint
   /// misses) still reuses every refutation earlier jobs over the same
   /// example derived. Null when the engine's sharing mode is Off.
-  /// Caller holds M.
-  std::shared_ptr<RefutationStore> refutationScopeFor(const Problem &Prob);
-  void cancelJob(const std::shared_ptr<JobHandle::JobState> &State);
-  /// Completes \p State (caller holds the service mutex; the per-job lock
-  /// is taken inside). False when it already was Done.
+  std::shared_ptr<RefutationStore> refutationScopeFor(const Problem &Prob)
+      REQUIRES(M);
+  void cancelJob(const std::shared_ptr<JobHandle::JobState> &State)
+      EXCLUDES(M);
+  /// Completes \p State (the per-job lock is taken inside: lock order is
+  /// always the service M before a JobState mutex). False when it already
+  /// was Done.
   bool complete(const std::shared_ptr<JobHandle::JobState> &State, Solution S,
-                std::optional<ResultSource> OverrideSource);
+                std::optional<ResultSource> OverrideSource) REQUIRES(M);
 
   const Engine Eng;
   const ServiceOptions Opts;
@@ -264,28 +266,31 @@ private:
   /// order. Atomic so ids are assigned before the service lock is taken.
   std::atomic<uint64_t> NextJobId{1};
   ResultCache Cache;
-  /// Example-fingerprint-scoped refutation stores (see refutationScopeFor).
-  /// Guarded by M; bounded by epoch flush (in-flight solves keep their
-  /// shared_ptrs, so a flush only forgets facts, it never breaks them).
-  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> RefScopes;
 
-  mutable std::mutex M;
-  std::condition_variable WorkAvailable;  ///< workers wait here
-  std::condition_variable SpaceAvailable; ///< blocking submit + drain wait here
-  std::condition_variable DeadlineChanged; ///< wakes the reaper
-  std::deque<std::shared_ptr<Work>> Queue; ///< kept heap-ordered (see .cpp)
+  mutable Mutex M;
+  CondVar WorkAvailable;   ///< workers wait here
+  CondVar SpaceAvailable;  ///< blocking submit + drain wait here
+  CondVar DeadlineChanged; ///< wakes the reaper
+  /// Example-fingerprint-scoped refutation stores (see refutationScopeFor);
+  /// bounded by epoch flush (in-flight solves keep their shared_ptrs, so a
+  /// flush only forgets facts, it never breaks them).
+  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> RefScopes
+      GUARDED_BY(M);
+  std::deque<std::shared_ptr<Work>> Queue
+      GUARDED_BY(M); ///< kept heap-ordered (see .cpp)
   /// Dedup index: the work a new identical submission may join. Usually
   /// queued-or-running, but a running work replaced by an incompatible
   /// duplicate is only reachable through RunningWorks below.
-  std::unordered_map<uint64_t, std::shared_ptr<Work>> Inflight;
+  std::unordered_map<uint64_t, std::shared_ptr<Work>> Inflight GUARDED_BY(M);
   /// Every work a worker is currently solving — the enumeration the
   /// reaper (rider deadlines) and destructor (stop requests) walk;
   /// Inflight alone can miss replaced works.
-  std::vector<std::shared_ptr<Work>> RunningWorks;
-  uint64_t NextSeq = 0;
-  size_t RunningCount = 0;
-  bool ShuttingDown = false;
-  ServiceStats Counters; ///< Cache/QueueDepth fields filled by stats()
+  std::vector<std::shared_ptr<Work>> RunningWorks GUARDED_BY(M);
+  uint64_t NextSeq GUARDED_BY(M) = 0;
+  size_t RunningCount GUARDED_BY(M) = 0;
+  bool ShuttingDown GUARDED_BY(M) = false;
+  /// Cache/QueueDepth fields filled by stats().
+  ServiceStats Counters GUARDED_BY(M);
 
   std::vector<std::thread> Pool;
   std::thread Reaper;

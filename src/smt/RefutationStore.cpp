@@ -23,8 +23,9 @@ constexpr size_t DefaultMaxEntries = 1 << 20;
 constexpr size_t MaxProcessExamples = 256;
 
 struct ProcessRegistry {
-  std::mutex M;
-  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> Stores;
+  Mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<RefutationStore>> Stores
+      GUARDED_BY(M);
 };
 
 ProcessRegistry &processRegistry() {
@@ -43,7 +44,7 @@ bool RefutationStore::isRefuted(uint64_t QueryHash) const {
   Shard &S = shardFor(QueryHash);
   bool Found;
   {
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     Found = S.Keys.count(QueryHash) != 0;
   }
   (Found ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +53,7 @@ bool RefutationStore::isRefuted(uint64_t QueryHash) const {
 
 void RefutationStore::recordRefuted(uint64_t QueryHash) {
   Shard &S = shardFor(QueryHash);
-  std::lock_guard<std::mutex> Lock(S.M);
+  MutexLock Lock(S.M);
   if (S.Keys.size() >= MaxEntries / NumShards)
     return; // best-effort: full shard drops the fact, never corrupts it
   if (S.Keys.insert(QueryHash).second)
@@ -71,7 +72,7 @@ RefutationStore::Stats RefutationStore::stats() const {
 size_t RefutationStore::size() const {
   size_t N = 0;
   for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     N += S.Keys.size();
   }
   return N;
@@ -80,7 +81,7 @@ size_t RefutationStore::size() const {
 std::shared_ptr<RefutationStore>
 RefutationStore::forExample(uint64_t ExampleFp) {
   ProcessRegistry &R = processRegistry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   auto It = R.Stores.find(ExampleFp);
   if (It != R.Stores.end())
     return It->second;
@@ -92,12 +93,12 @@ RefutationStore::forExample(uint64_t ExampleFp) {
 
 size_t RefutationStore::processScopeCount() {
   ProcessRegistry &R = processRegistry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return R.Stores.size();
 }
 
 void RefutationStore::clearProcessScope() {
   ProcessRegistry &R = processRegistry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   R.Stores.clear();
 }

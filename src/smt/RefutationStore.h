@@ -36,10 +36,11 @@
 #ifndef MORPHEUS_SMT_REFUTATIONSTORE_H
 #define MORPHEUS_SMT_REFUTATIONSTORE_H
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 
 namespace morpheus {
@@ -88,8 +89,8 @@ private:
   /// called thousands of times per second per member.
   static constexpr size_t NumShards = 16;
   struct Shard {
-    mutable std::mutex M;
-    std::unordered_set<uint64_t> Keys;
+    mutable Mutex M;
+    std::unordered_set<uint64_t> Keys GUARDED_BY(M);
   };
   Shard Shards[NumShards];
   size_t MaxEntries;

@@ -1,0 +1,131 @@
+// Annotated synchronization primitives.
+//
+// Thin, zero-overhead wrappers over std::mutex / std::condition_variable
+// that carry the capability annotations from ThreadAnnotations.h. The
+// standard-library types are unannotated in libstdc++, so code locking a
+// raw std::mutex is invisible to clang's -Wthread-safety; every concurrent
+// subsystem (service, smt, bus, table) locks through these instead.
+#pragma once
+
+#include "support/ThreadAnnotations.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace morpheus {
+
+/// Annotated std::mutex. Lock through MutexLock/UniqueLock; the raw
+/// lock()/unlock() members exist for the scoped wrappers and for the rare
+/// manually-paired critical section.
+class CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() ACQUIRE() { M.lock(); }
+  void unlock() RELEASE() { M.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  /// Escape hatch for APIs that need the underlying std::mutex (e.g.
+  /// std::scoped_lock over several mutexes). Callers take responsibility
+  /// for the analysis not seeing those acquisitions.
+  std::mutex &native() RETURN_CAPABILITY(this) { return M; }
+
+private:
+  friend class UniqueLock;
+  std::mutex M;
+};
+
+/// std::lock_guard equivalent: locks in the constructor, unlocks in the
+/// destructor, no unlock in between.
+class SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() RELEASE() { M.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &M;
+};
+
+/// std::unique_lock equivalent: supports mid-scope unlock()/lock() (the
+/// worker-loop "drop the lock around the solve" pattern) and is what
+/// CondVar waits on. Wraps a real std::unique_lock so waiting works with
+/// std::condition_variable underneath.
+class SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(Mutex &M) ACQUIRE(M) : M(M), Inner(M.M) {}
+  ~UniqueLock() RELEASE() {
+    // std::unique_lock's destructor only unlocks when owning; the
+    // annotation says "released on destruction" which matches because an
+    // unlocked UniqueLock must be re-locked before scope exit or the
+    // analysis flags it.
+  }
+
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+  void lock() ACQUIRE() { Inner.lock(); }
+  void unlock() RELEASE() { Inner.unlock(); }
+  bool ownsLock() const { return Inner.owns_lock(); }
+
+private:
+  friend class CondVar;
+  Mutex &M;
+  std::unique_lock<std::mutex> Inner;
+};
+
+/// Annotated std::condition_variable. All waits take the UniqueLock whose
+/// Mutex guards the predicate state; the capability is held before and
+/// after every wait (released only inside, which the analysis models as
+/// "still required").
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  void notify_one() { CV.notify_one(); }
+  void notify_all() { CV.notify_all(); }
+
+  void wait(UniqueLock &Lock) { CV.wait(Lock.Inner); }
+
+  template <typename Pred> void wait(UniqueLock &Lock, Pred P) {
+    CV.wait(Lock.Inner, std::move(P));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock &Lock,
+                          const std::chrono::duration<Rep, Period> &Dur) {
+    return CV.wait_for(Lock.Inner, Dur);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock &Lock,
+                const std::chrono::duration<Rep, Period> &Dur, Pred P) {
+    return CV.wait_for(Lock.Inner, Dur, std::move(P));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock &Lock,
+      const std::chrono::time_point<Clock, Duration> &Deadline) {
+    return CV.wait_until(Lock.Inner, Deadline);
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(UniqueLock &Lock,
+                  const std::chrono::time_point<Clock, Duration> &Deadline,
+                  Pred P) {
+    return CV.wait_until(Lock.Inner, Deadline, std::move(P));
+  }
+
+private:
+  std::condition_variable CV;
+};
+
+} // namespace morpheus

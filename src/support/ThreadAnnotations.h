@@ -1,0 +1,60 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These expand to __attribute__((...)) under Clang when the capability
+// attributes are available and to nothing elsewhere (GCC builds them out),
+// so annotated code compiles everywhere while the dedicated CI job
+// (clang++ -Werror=thread-safety) statically proves every GUARDED_BY
+// field is only touched with its mutex held.
+//
+// Convention for new concurrent code (see docs/ANALYSIS.md):
+//   * guard every mutable shared field with GUARDED_BY(M) (or an explicit
+//     comment naming the synchronization scheme when it is lock-free);
+//   * annotate private helpers that expect the lock held with REQUIRES(M)
+//     and give them a *Locked suffix;
+//   * use the wrappers in support/Sync.h (Mutex/MutexLock/UniqueLock/
+//     CondVar) instead of raw std::mutex — libstdc++'s mutex types carry
+//     no annotations, so the analysis cannot see through them.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MORPHEUS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef MORPHEUS_THREAD_ANNOTATION
+#define MORPHEUS_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+// Type attributes.
+#define CAPABILITY(x) MORPHEUS_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY MORPHEUS_THREAD_ANNOTATION(scoped_lockable)
+
+// Field / variable attributes.
+#define GUARDED_BY(x) MORPHEUS_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MORPHEUS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  MORPHEUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MORPHEUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function attributes.
+#define REQUIRES(...) \
+  MORPHEUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MORPHEUS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  MORPHEUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MORPHEUS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  MORPHEUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MORPHEUS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  MORPHEUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MORPHEUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MORPHEUS_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) MORPHEUS_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MORPHEUS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -17,7 +17,7 @@ StringInterner &StringInterner::global() {
 }
 
 uint32_t StringInterner::intern(std::string_view S) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto It = Ids.find(S);
   if (It != Ids.end())
     return It->second;
@@ -59,7 +59,7 @@ const std::vector<uint32_t> *StringInterner::ranks() const {
   size_t Covered = R ? R->size() : 0;
   if (R && N - Covered <= 64 + Covered / 2)
     return R;
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   R = Ranks.load(std::memory_order_acquire);
   N = Count.load(std::memory_order_acquire);
   Covered = R ? R->size() : 0;

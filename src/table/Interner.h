@@ -28,10 +28,11 @@
 #ifndef MORPHEUS_TABLE_INTERNER_H
 #define MORPHEUS_TABLE_INTERNER_H
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -69,18 +70,21 @@ private:
 
   const std::vector<uint32_t> *ranks() const;
 
-  mutable std::mutex M;
-  std::unordered_map<std::string_view, uint32_t> Ids;
-  std::vector<std::unique_ptr<std::string[]>> Chunks; // guarded by M
+  mutable Mutex M;
+  std::unordered_map<std::string_view, uint32_t> Ids GUARDED_BY(M);
+  std::vector<std::unique_ptr<std::string[]>> Chunks GUARDED_BY(M);
   /// Lock-free mirror of Chunks for readers: slot I is published (with
-  /// release order) before any id in chunk I escapes intern().
+  /// release order) before any id in chunk I escapes intern(). Ordering
+  /// contract: intern() writes the slot text, release-stores the chunk
+  /// pointer, then release-stores Count; text()/size() acquire-load, so a
+  /// reader that observes id < Count also observes the slot's bytes.
   std::atomic<std::string *> ChunkTable[MaxChunks] = {};
   std::atomic<size_t> Count{0};
   /// Sorted-rank snapshot; null while stale. Retired snapshots are kept
   /// alive (readers may still hold the raw pointer mid-comparison).
   mutable std::atomic<const std::vector<uint32_t> *> Ranks{nullptr};
   mutable std::vector<std::unique_ptr<const std::vector<uint32_t>>>
-      RankHistory;
+      RankHistory GUARDED_BY(M);
 };
 
 } // namespace morpheus

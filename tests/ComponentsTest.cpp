@@ -61,6 +61,14 @@ TEST(Filter, TypeMismatchFailsCandidate) {
   EXPECT_FALSE(P->evaluate({paperT1()}).has_value());
 }
 
+TEST(Filter, NoOpPredicateFailsCandidate) {
+  // A predicate keeping every row is rejected (the paper's filter
+  // footnote; Table 2's row(y) < row(x) is sound only because of it).
+  // Regression for a mismatch found by `morpheus analyze`.
+  EXPECT_FALSE(
+      filter(in(0), "age", ">", num(0))->evaluate({paperT1()}).has_value());
+}
+
 TEST(Select, ProjectsInGivenOrder) {
   Table Out = evalOrDie(select(in(0), {"name", "id"}), {paperT1()});
   EXPECT_EQ(Out.schema().names(),
@@ -70,6 +78,15 @@ TEST(Select, ProjectsInGivenOrder) {
 
 TEST(Select, MissingColumnFails) {
   EXPECT_FALSE(select(in(0), {"ghost"})->evaluate({paperT1()}).has_value());
+}
+
+TEST(Select, FullWidthSelectFailsCandidate) {
+  // Keeping every column (in any order) is a no-op the search must not
+  // consider; Table 2's col(y) < col(x) depends on it. Regression for a
+  // mismatch found by `morpheus analyze`.
+  EXPECT_FALSE(select(in(0), {"GPA", "age", "name", "id"})
+                   ->evaluate({paperT1()})
+                   .has_value());
 }
 
 TEST(Gather, MeltsColumns) {

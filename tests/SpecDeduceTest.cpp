@@ -229,16 +229,18 @@ TEST(DeduceSubstrate, SessionAndTemplateReuse) {
                         {"age", CellType::Num}},
                        {{num(1), str("Alice"), num(8)},
                         {num(2), str("Bob"), num(18)},
-                        {num(3), str("Tom"), num(12)}});
+                        {num(3), str("Tom"), num(12)},
+                        {num(4), str("Eve"), num(5)}});
   Table Out = makeTable({{"id", CellType::Num}, {"name", CellType::Str}},
                         {{num(2), str("Bob")}});
   const TableTransformer *Select = StandardComponents::get().find("select");
 
   DeductionEngine E({In}, Out);
   // Same sketch shape, three predicate fills with distinct intermediate
-  // row counts (3, 2, 1 rows) -> distinct queries sharing one shape: one
-  // session build, two session reuses.
-  for (double Cut : {2.0, 10.0, 15.0}) {
+  // row counts (3, 2, 1 rows; a keep-all cut would be rejected by the
+  // filter kernel as a spec-excluded no-op) -> distinct queries sharing
+  // one shape: one session build, two session reuses.
+  for (double Cut : {6.0, 10.0, 15.0}) {
     HypPtr Sigma = filter(in(0), "age", ">", num(Cut));
     HypPtr Pi = Hypothesis::apply(
         Select, {Sigma, Hypothesis::valueHole(ParamKind::Cols)});

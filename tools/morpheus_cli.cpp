@@ -28,27 +28,29 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/SpecLint.h"
+#include "analysis/SpecMutants.h"
 #include "api/Engine.h"
 #include "bus/EventBus.h"
 #include "bus/Replay.h"
 #include "bus/StatsSink.h"
 #include "bus/TrafficRecorder.h"
+#include "interp/Components.h"
 #include "io/Json.h"
 #include "io/ProblemIO.h"
 #include "io/ProgramIO.h"
 #include "io/TableIO.h"
 #include "service/SynthService.h"
 #include "suite/Runner.h"
+#include "support/Sync.h"
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <thread>
 #include <iostream>
 #include <string>
@@ -72,6 +74,8 @@ int usage(const char *Msg = nullptr) {
       "                                         on stdin/stdout\n"
       "  morpheus replay <log.jsonl> [options]  re-drive a recorded traffic\n"
       "                                         log and diff the outcomes\n"
+      "  morpheus analyze [options]             lint the component library's\n"
+      "                                         specs with the SMT solver\n"
       "\n"
       "solve options:\n"
       "  --strategy sequential|portfolio  search strategy (default\n"
@@ -125,9 +129,25 @@ int usage(const char *Msg = nullptr) {
       "  engine flags                     as for serve; match the recording\n"
       "                                   run for outcomes to reproduce\n"
       "\n"
+      "analyze options:\n"
+      "  --library tidy|sql|all           component library to lint\n"
+      "                                   (default all)\n"
+      "  --json PATH                      write the machine-readable report\n"
+      "  --pedantic                       warnings become errors; also flag\n"
+      "                                   components the soundness check\n"
+      "                                   could not exercise\n"
+      "  --no-soundness                   satisfiability/refinement checks\n"
+      "                                   only (skip scenario enumeration)\n"
+      "  --self-check                     also run the seeded-mutant sweep\n"
+      "                                   proving the linter catches\n"
+      "                                   unsound specs\n"
+      "  --quiet                          print only the summary line\n"
+      "\n"
       "solve exit codes: 0 solved, 2 usage/input error, 3 timeout,\n"
       "4 exhausted, 5 cancelled\n"
       "replay exit codes: 0 outcomes+programs reproduced, 1 diverged,\n"
+      "2 usage/input error\n"
+      "analyze exit codes: 0 clean, 1 findings (or self-check failure),\n"
       "2 usage/input error\n");
   return 2;
 }
@@ -723,16 +743,16 @@ int runServe(ArgReader &Args) {
   // queue, so without this cap a fast producer against a slow stdout
   // consumer would grow the response backlog without limit.
   constexpr size_t MaxPendingResponses = 1024;
-  std::mutex PendingMutex;
-  std::condition_variable PendingReady;
-  std::condition_variable PendingSpace;
+  Mutex PendingMutex;
+  CondVar PendingReady;
+  CondVar PendingSpace;
   std::deque<PendingRequest> Pending;
   bool Eof = false;
   std::thread Flusher([&] {
     for (;;) {
       PendingRequest Req;
       {
-        std::unique_lock<std::mutex> Lock(PendingMutex);
+        UniqueLock Lock(PendingMutex);
         PendingReady.wait(Lock, [&] { return Eof || !Pending.empty(); });
         if (Pending.empty())
           return; // Eof and fully drained
@@ -744,7 +764,7 @@ int runServe(ArgReader &Args) {
     }
   });
   auto Respond = [&](PendingRequest Req) {
-    std::unique_lock<std::mutex> Lock(PendingMutex);
+    UniqueLock Lock(PendingMutex);
     PendingSpace.wait(Lock,
                       [&] { return Pending.size() < MaxPendingResponses; });
     Pending.push_back(std::move(Req));
@@ -799,7 +819,7 @@ int runServe(ArgReader &Args) {
     Respond(std::move(Req));
   }
   {
-    std::lock_guard<std::mutex> Lock(PendingMutex);
+    MutexLock Lock(PendingMutex);
     Eof = true;
   }
   PendingReady.notify_all();
@@ -925,6 +945,97 @@ int runReplay(ArgReader &Args) {
   return Report.ok() ? 0 : 1;
 }
 
+// ----------------------------------------------------------------- analyze
+
+int runAnalyze(ArgReader &Args) {
+  std::string LibraryName = "all";
+  std::string JsonPath;
+  bool SelfCheck = false;
+  bool Quiet = false;
+  LintOptions Opts;
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--library") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V != "tidy" && V != "sql" && V != "all")
+        return usage("unknown library (use tidy, sql or all)");
+      LibraryName = V;
+    } else if (A == "--json") {
+      if (!Args.value(A, JsonPath))
+        return 2;
+    } else if (A == "--pedantic") {
+      Opts.Pedantic = true;
+    } else if (A == "--no-soundness") {
+      Opts.Soundness = false;
+    } else if (A == "--self-check") {
+      SelfCheck = true;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else {
+      return usage(("unknown option " + A).c_str());
+    }
+  }
+
+  const StandardComponents &SC = StandardComponents::get();
+  ComponentLibrary Lib =
+      LibraryName == "sql" ? SC.sqlRelevant() : SC.tidyDplyr();
+  if (LibraryName == "all")
+    for (const TableTransformer *X : SC.all())
+      if (!Lib.findTable(X->name()))
+        Lib.TableTransformers.push_back(X);
+
+  LintReport Report = lintLibrary(Lib, Opts);
+
+  if (!Quiet)
+    for (const LintIssue &I : Report.Issues) {
+      std::fprintf(stderr, "%s: %s/%s [%s] %s\n",
+                   I.IsError ? "error" : "warning", I.Component.c_str(),
+                   I.Level == SpecLevel::Spec1 ? "spec1" : "spec2",
+                   lintKindName(I.Kind), I.Message.c_str());
+      for (const std::string &D : I.Details)
+        std::fprintf(stderr, "    %s\n", D.c_str());
+    }
+  std::printf("analyze: %llu component(s), %llu sat check(s), %llu "
+              "scenario(s) (%llu chained), %llu soundness check(s), "
+              "%u error(s), %u warning(s)\n",
+              (unsigned long long)Report.Stats.Components,
+              (unsigned long long)Report.Stats.SatChecks,
+              (unsigned long long)Report.Stats.Scenarios,
+              (unsigned long long)Report.Stats.ChainScenarios,
+              (unsigned long long)Report.Stats.SoundnessChecks,
+              Report.errorCount(), Report.warningCount());
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 2;
+    }
+    Out << reportToJson(Report) << "\n";
+  }
+
+  bool Ok = Report.clean();
+  if (SelfCheck) {
+    MutantSweepResult Sweep = sweepMutants(Lib, Opts);
+    if (!Quiet) {
+      for (const std::string &S : Sweep.Survivors)
+        std::fprintf(stderr, "self-check: SURVIVED %s\n", S.c_str());
+      for (const std::string &S : Sweep.FalseAlarms)
+        std::fprintf(stderr, "self-check: FALSE ALARM %s\n", S.c_str());
+    }
+    std::printf("self-check: %llu mutant(s), %llu expected unsound, "
+                "%llu killed, %zu survivor(s), %zu false alarm(s)\n",
+                (unsigned long long)Sweep.Total,
+                (unsigned long long)Sweep.ExpectedUnsound,
+                (unsigned long long)Sweep.Killed, Sweep.Survivors.size(),
+                Sweep.FalseAlarms.size());
+    Ok = Ok && Sweep.ok();
+  }
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -943,6 +1054,8 @@ int main(int argc, char **argv) {
     return runServe(Args);
   if (Cmd == "replay")
     return runReplay(Args);
+  if (Cmd == "analyze")
+    return runAnalyze(Args);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help")
     return usage();
   return usage(("unknown command '" + Cmd + "'").c_str());
