@@ -15,9 +15,14 @@
 #include "interp/Components.h"
 #include "smt/Deduce.h"
 #include "suite/Task.h"
+#include "support/Simd.h"
 #include "synth/Inhabitation.h"
+#include "table/BatchCheck.h"
+#include "table/TableUtils.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace morpheus;
 using namespace morpheus::pb;
@@ -346,6 +351,149 @@ void BM_Fingerprint(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_Fingerprint)->Arg(16)->Arg(64)->Arg(256);
+
+//===----------------------------------------------------------------------===//
+// Vectorized hot path vs the always-built scalar reference tier. Each pair
+// runs the SAME code path with the kernel tier forced to Scalar vs left at
+// the CPU's best (support/Simd.h); both arms produce identical results, so
+// the ratio is pure dispatch-tier speedup (BENCHMARKS.md records it).
+// forceSimdLevel is process-wide — every arm restores the tier on exit so
+// benchmark registration order cannot leak a forced tier into later arms.
+//===----------------------------------------------------------------------===//
+
+/// A batch-sized pool of near-misses (one numeric cell nudged): NO true
+/// match, modelling the search's steady state — candidate checks reject
+/// essentially every sibling, so neither arm gets to early-exit and the
+/// ratio measures pure per-candidate rejection cost. (The with-match case
+/// is covered by the Legacy/Columnar pair above and the BatchChecker
+/// first-match-wins unit tests.)
+std::vector<Table> candidatePoolN(const Table &Output, size_t Count) {
+  std::vector<Table> Pool;
+  size_t N = Output.numRows();
+  for (size_t K = 0; K != Count; ++K) {
+    std::vector<Row> Rows;
+    for (size_t R = 0; R != N; ++R)
+      Rows.push_back(Output.row(R));
+    Rows[K % N][1] = num(Rows[K % N][1].num() + double(K + 1));
+    Pool.push_back(Table(Output.schema(), Rows));
+  }
+  return Pool;
+}
+
+/// Scalar arm: the per-candidate gate chain of SearchContext::checkCandidate
+/// (rows, schema, fingerprint, compare). Batched arm: the same candidates
+/// moved into a BatchChecker and swept per 64, as fillLastHoleBatched does.
+/// Each iteration checks fresh uncached Table wrappers (the fingerprint
+/// cache is per-Table, so a reused wrapper would measure one cache load);
+/// wrapper construction itself is component evaluation's cost, not the
+/// check's, so it happens off the clock — manual timing brackets just the
+/// check in both arms.
+void candidateCheckArm(benchmark::State &State, simd::SimdLevel Tier,
+                       bool Batched) {
+  simd::forceSimdLevel(Tier);
+  Table Output = wideTable(size_t(State.range(0)));
+  std::vector<Table> Pool = candidatePoolN(Output, 64);
+  std::vector<std::vector<ColumnPtr>> Cols;
+  for (const Table &T : Pool) {
+    std::vector<ColumnPtr> Handles;
+    for (size_t C = 0; C != T.numCols(); ++C)
+      Handles.push_back(T.colHandle(C));
+    Cols.push_back(std::move(Handles));
+  }
+  uint64_t OutputFp = Output.fingerprint();
+  Output.sortedPermutation();
+  size_t Matches = 0;
+  std::vector<Table> Fresh;
+  Fresh.reserve(Pool.size());
+  for (auto _ : State) {
+    Fresh.clear();
+    for (size_t I = 0; I != Pool.size(); ++I)
+      Fresh.emplace_back(Pool[I].schema(), Cols[I], Pool[I].numRows());
+    auto Start = std::chrono::steady_clock::now();
+    if (Batched) {
+      BatchChecker Checker(Output);
+      for (Table &C : Fresh) {
+        Checker.add(std::move(C));
+        if (Checker.full())
+          Matches += Checker.flush() != simd::npos;
+      }
+      Matches += Checker.flush() != simd::npos;
+    } else {
+      for (Table &C : Fresh) {
+        // Take the wrapper by move so it dies right after its check, like
+        // a rejected candidate in the search — the batched arm's flush
+        // destroys its batch on the clock too, so both arms time the
+        // candidate teardown.
+        Table T = std::move(C);
+        Matches += T.numRows() == Output.numRows() &&
+                   T.schema() == Output.schema() &&
+                   T.fingerprint() == OutputFp && T.equalsUnordered(Output);
+      }
+    }
+    benchmark::DoNotOptimize(Matches);
+    State.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Pool.size()));
+  simd::clearForcedSimdLevel();
+}
+
+void BM_CandidateCheckScalarTier(benchmark::State &State) {
+  candidateCheckArm(State, simd::SimdLevel::Scalar, /*Batched=*/false);
+}
+BENCHMARK(BM_CandidateCheckScalarTier)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseManualTime();
+
+void BM_CandidateCheckBatched(benchmark::State &State) {
+  candidateCheckArm(State, simd::detectedSimdLevel(), /*Batched=*/true);
+}
+BENCHMARK(BM_CandidateCheckBatched)->Arg(16)->Arg(64)->Arg(256)->UseManualTime();
+
+void filterArm(benchmark::State &State, simd::SimdLevel Tier) {
+  simd::forceSimdLevel(Tier);
+  Table In = wideTable(size_t(State.range(0)));
+  HypPtr P = filter(in(0), "c", "<", num(4)); // keeps ~4/7 of the rows
+  for (auto _ : State) {
+    auto T = P->evaluate({In});
+    benchmark::DoNotOptimize(T);
+  }
+  simd::clearForcedSimdLevel();
+}
+
+void BM_FilterScalarTier(benchmark::State &State) {
+  filterArm(State, simd::SimdLevel::Scalar);
+}
+BENCHMARK(BM_FilterScalarTier)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FilterVectorized(benchmark::State &State) {
+  filterArm(State, simd::detectedSimdLevel());
+}
+BENCHMARK(BM_FilterVectorized)->Arg(100)->Arg(1000)->Arg(10000);
+
+void groupByArm(benchmark::State &State, simd::SimdLevel Tier) {
+  simd::forceSimdLevel(Tier);
+  Table In = wideTable(size_t(State.range(0)));
+  std::vector<size_t> Keys = {0, 3}; // str id (all distinct) + num c (mod 7)
+  for (auto _ : State) {
+    RowGrouping G = groupRowsBy(In, Keys);
+    benchmark::DoNotOptimize(G);
+  }
+  simd::clearForcedSimdLevel();
+}
+
+void BM_GroupByScalarTier(benchmark::State &State) {
+  groupByArm(State, simd::SimdLevel::Scalar);
+}
+BENCHMARK(BM_GroupByScalarTier)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GroupByVectorized(benchmark::State &State) {
+  groupByArm(State, simd::detectedSimdLevel());
+}
+BENCHMARK(BM_GroupByVectorized)->Arg(100)->Arg(1000)->Arg(10000);
 
 } // namespace
 

@@ -7,6 +7,7 @@
 #include "suite/Runner.h"
 
 #include "interp/Components.h"
+#include "io/ProgramIO.h"
 
 #include <algorithm>
 #include <functional>
@@ -52,6 +53,8 @@ TaskResult toTaskResult(const BenchmarkTask &T, const Solution &S) {
   Out.Category = T.Category;
   Out.Solved = bool(S);
   Out.Seconds = S.Seconds;
+  if (S.Program)
+    Out.ProgramSexp = printSexp(S.Program);
   Out.Stats = S.Stats;
   return Out;
 }

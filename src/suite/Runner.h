@@ -31,6 +31,10 @@ struct TaskResult {
   std::string Category;
   bool Solved = false;
   double Seconds = 0;
+  /// The synthesized program in s-expression form (empty when unsolved).
+  /// Lets snapshots of two configurations be diffed for program identity
+  /// — the parity statement performance knobs must satisfy.
+  std::string ProgramSexp;
   SynthesisStats Stats;
 };
 

@@ -1,0 +1,157 @@
+//===- support/Arena.h - Bump-pointer arena for search temporaries -*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for candidate-lifetime temporaries: fingerprint
+/// batches, selection vectors, group hash tables and the other scratch the
+/// vectorized kernels allocate on every candidate check. The synthesis
+/// inner loop used to pay a malloc/free pair per temporary; the arena turns
+/// each into a pointer bump, and a whole enumeration step's worth of
+/// scratch is released with one cursor rewind.
+///
+/// Lifetime discipline (documented in docs/ARCHITECTURE.md):
+///
+///  - One arena per search thread (threadArena() is thread_local); the
+///    arena itself is NOT thread-safe and never shared.
+///  - Kernels allocate through an ArenaScope and must not let allocations
+///    escape the scope: the destructor rewinds the cursor, invalidating
+///    everything allocated inside. Scopes nest (strict stack discipline).
+///  - The synthesizer additionally rewinds per enumeration step
+///    (fillSketch), so a leaked allocation can at worst live for one
+///    sketch completion.
+///  - Only trivially-destructible types: the arena never runs destructors.
+///
+/// Chunks grow geometrically and are retained across rewinds, so the
+/// steady state performs no allocation at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_SUPPORT_ARENA_H
+#define MORPHEUS_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace morpheus {
+
+class Arena {
+public:
+  /// A rewind point: chunk index + offset within it.
+  struct Marker {
+    size_t Chunk = 0;
+    size_t Used = 0;
+  };
+
+  explicit Arena(size_t FirstChunkBytes = 64 << 10)
+      : FirstChunkBytes(FirstChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Raw allocation; \p Align must be a power of two.
+  void *allocate(size_t Bytes, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    for (;;) {
+      if (Cur < Chunks.size()) {
+        Chunk &C = Chunks[Cur];
+        size_t Aligned = (Used + Align - 1) & ~(Align - 1);
+        if (Aligned + Bytes <= C.Size) {
+          Used = Aligned + Bytes;
+          return C.Mem.get() + Aligned;
+        }
+        // This chunk is full: move on (retained chunks may follow).
+        ++Cur;
+        Used = 0;
+        continue;
+      }
+      grow(Bytes + Align);
+    }
+  }
+
+  /// Typed array allocation. The arena runs no destructors, so T must be
+  /// trivially destructible (and trivially constructible: cells start
+  /// uninitialized).
+  template <typename T> T *alloc(size_t N) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena types must be trivially destructible");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  Marker mark() const { return {Cur, Used}; }
+
+  /// Rewinds to \p M. Chunks past the marker are kept for reuse; nothing
+  /// is freed.
+  void rewind(Marker M) {
+    assert((M.Chunk < Cur || (M.Chunk == Cur && M.Used <= Used) ||
+            Chunks.empty()) &&
+           "rewinding forward");
+    Cur = M.Chunk;
+    Used = M.Used;
+  }
+
+  /// Rewinds to empty (the per-enumeration-step reset).
+  void reset() { rewind(Marker{}); }
+
+  /// Total bytes of backing chunks (high-water footprint; for tests and
+  /// debugging).
+  size_t capacityBytes() const {
+    size_t N = 0;
+    for (const Chunk &C : Chunks)
+      N += C.Size;
+    return N;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+  };
+
+  void grow(size_t AtLeast) {
+    size_t Size = Chunks.empty() ? FirstChunkBytes : Chunks.back().Size * 2;
+    while (Size < AtLeast)
+      Size *= 2;
+    Chunks.push_back({std::unique_ptr<char[]>(new char[Size]), Size});
+    Cur = Chunks.size() - 1;
+    Used = 0;
+  }
+
+  size_t FirstChunkBytes;
+  std::vector<Chunk> Chunks;
+  size_t Cur = 0;  ///< index of the chunk being bumped
+  size_t Used = 0; ///< bytes used in Chunks[Cur]
+};
+
+/// The calling thread's arena. One per search thread by construction
+/// (thread_local), so no locking and no cross-thread lifetime: portfolio
+/// members and service workers each get their own.
+inline Arena &threadArena() {
+  static thread_local Arena A;
+  return A;
+}
+
+/// RAII rewind: everything allocated from \p A inside the scope is
+/// released (cursor-rewound) on destruction. Scopes must nest like a stack.
+class ArenaScope {
+public:
+  explicit ArenaScope(Arena &A) : A(A), M(A.mark()) {}
+  ~ArenaScope() { A.rewind(M); }
+
+  ArenaScope(const ArenaScope &) = delete;
+  ArenaScope &operator=(const ArenaScope &) = delete;
+
+private:
+  Arena &A;
+  Arena::Marker M;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SUPPORT_ARENA_H

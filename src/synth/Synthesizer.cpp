@@ -7,6 +7,8 @@
 #include "synth/Synthesizer.h"
 
 #include "bus/EventBus.h"
+#include "support/Arena.h"
+#include "table/BatchCheck.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -169,6 +171,10 @@ private:
   bool fillSketch(const HypPtr &Sketch);
   bool fillHoles(size_t Index, const HypPtr &Tree,
                  const std::vector<HoleInfo> &Holes);
+  /// The vectorized sibling-fill path for a sketch's final value hole.
+  bool fillLastHoleBatched(const HypPtr &Tree, const HoleInfo &HI,
+                           const std::vector<Table> &Universe,
+                           unsigned Index);
 
   /// The tables whose contents finitize the candidate universe for a hole
   /// of \p Node. With partial evaluation these are the node's concrete
@@ -239,6 +245,14 @@ bool SearchContext::fillHoles(size_t Index, const HypPtr &Tree,
   if (!Universe)
     return false;
 
+  // The final hole's completions all go straight to the candidate check —
+  // the batched sibling-fill path evaluates their shared prefix once and
+  // sweeps their output fingerprints in SIMD batches. Ordered-compare
+  // tasks stay scalar (see BatchCheck.h).
+  if (Cfg.UseBatchedCheck && !Cfg.OrderedCompare &&
+      Index + 1 == Holes.size())
+    return fillLastHoleBatched(Tree, HI, *Universe, unsigned(Index));
+
   bool Found = false;
   Inhab.enumerate(
       HI.Kind, *Universe, Output, unsigned(Index), [&](TermPtr T) {
@@ -273,7 +287,101 @@ bool SearchContext::fillHoles(size_t Index, const HypPtr &Tree,
   return Found;
 }
 
+bool SearchContext::fillLastHoleBatched(const HypPtr &Tree,
+                                        const HoleInfo &HI,
+                                        const std::vector<Table> &Universe,
+                                        unsigned Index) {
+  // Sibling-fill batch evaluation: every candidate differs from its
+  // siblings only in the term filled into this one hole. When the hole's
+  // owning Apply node is the root, the shared prefix — the root's table
+  // children — is evaluated ONCE (cache-hot: universeFor just did) and
+  // each sibling becomes a direct component apply over the shared
+  // arguments, skipping the per-candidate tree rebuild, tree re-walk and
+  // eval-cache insertion of the scalar path. Candidate outputs then
+  // accumulate into a BatchChecker and are rejected in SIMD fingerprint
+  // sweeps; only fingerprint hits pay a scalar table compare.
+  const HypPtr &Node = nodeAt(Tree, HI.NodePath);
+  bool Direct = HI.NodePath.empty();
+  std::vector<Table> TableArgs;
+  std::vector<TermPtr> ValueArgs; // one null slot where the hole sits
+  size_t HoleSlot = SIZE_MAX;
+  if (Direct) {
+    for (const HypPtr &C : Node->children()) {
+      if (C->isTableTyped()) {
+        const std::optional<Table> &T = Engine.evaluateCached(C);
+        if (!T) {
+          // A dead child: fall back to per-candidate evaluation so the
+          // per-term outcome (every candidate rejected) and work
+          // accounting match the scalar path exactly.
+          Direct = false;
+          break;
+        }
+        TableArgs.push_back(*T);
+      } else if (C->isFilled()) {
+        ValueArgs.push_back(C->term());
+      } else {
+        assert(C->isValueHole() && "unexpected child kind");
+        HoleSlot = ValueArgs.size(); // exactly one: the last hole
+        ValueArgs.push_back(nullptr);
+      }
+    }
+    if (Direct && (HoleSlot == SIZE_MAX ||
+                   TableArgs.size() != Node->component()->numTableArgs()))
+      Direct = false;
+  }
+
+  BatchChecker Checker(Output);
+  std::vector<TermPtr> Pending; // aligned with the checker's batch slots
+  Pending.reserve(BatchChecker::Capacity);
+  bool Found = false;
+  auto FlushBatch = [&] {
+    size_t Hit = Checker.flush();
+    if (Hit != simd::npos) {
+      Solution = replaceAtPath(
+          Tree, HI.Path, 0, Hypothesis::filled(HI.Kind, Pending[Hit]));
+      Found = true;
+    }
+    Pending.clear();
+    return Found;
+  };
+
+  Inhab.enumerate(
+      HI.Kind, Universe, Output, Index, [&](TermPtr T) {
+        if (expired())
+          return false;
+        ++Stats.CandidatesChecked;
+        ++SketchWork;
+        std::optional<Table> Cand;
+        if (Direct) {
+          ValueArgs[HoleSlot] = T;
+          Cand = Node->component()->apply(TableArgs, ValueArgs);
+        } else {
+          HypPtr NewTree = replaceAtPath(Tree, HI.Path, 0,
+                                         Hypothesis::filled(HI.Kind, T));
+          const std::optional<Table> &Cached = Engine.evaluateCached(NewTree);
+          if (Cached)
+            Cand = *Cached;
+        }
+        if (Cand && Checker.add(std::move(*Cand))) {
+          Pending.push_back(std::move(T));
+          if (Checker.full() && FlushBatch())
+            return false;
+        }
+        return !TimedOut && !sketchBudgetSpent();
+      });
+  if (!Found)
+    FlushBatch();
+  return Found;
+}
+
 bool SearchContext::fillSketch(const HypPtr &Sketch) {
+  // Pin the search thread's arena for the whole completion: the kernels
+  // below (fingerprint folds, group-by scratch, batch sweeps) stack their
+  // own scopes on top, and this rewind point returns the arena to its
+  // pre-sketch watermark even if a kernel's scope hierarchy grows the
+  // arena mid-completion. Chunks are retained, so steady-state sketch
+  // completion performs zero temporary heap allocations in the kernels.
+  ArenaScope Scratch(threadArena());
   SketchWork = 0;
   SketchPoll = 0;
   SketchStart = std::chrono::steady_clock::now();

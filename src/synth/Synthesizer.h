@@ -93,6 +93,16 @@ struct SynthesisConfig {
   /// Compare candidate output to the expected table including row order
   /// (set for tasks whose ground truth ends in `arrange`).
   bool OrderedCompare = false;
+  /// Batched sibling-candidate checking on a sketch's final value hole:
+  /// the N completions of the last hole share their evaluated prefix, and
+  /// their outputs accumulate into fingerprint batches swept with the
+  /// SIMD kernels (table/BatchCheck.h) instead of being compared one at a
+  /// time. Accept/reject semantics are identical to the scalar path (the
+  /// parity suite runs both); ordered-compare tasks always take the
+  /// scalar path because equalsOrdered is not fingerprint-gated. Excluded
+  /// from the service problem fingerprint, like Sharing: it changes solve
+  /// speed, never which program is found.
+  bool UseBatchedCheck = true;
   /// Budget per sketch: candidate checks + partial fills before the
   /// completion engine abandons the sketch and lets the worklist advance.
   /// Bounds the damage of sketches whose (imprecise) specs survive

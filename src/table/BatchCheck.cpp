@@ -1,0 +1,62 @@
+//===- table/BatchCheck.cpp - Batched candidate-output checking -------------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/BatchCheck.h"
+
+#include "support/Arena.h"
+
+using namespace morpheus;
+
+size_t BatchChecker::flush() {
+  const size_t N = Batch.size();
+  if (N == 0)
+    return simd::npos;
+
+  // Candidate-lifetime scratch: the fingerprint array lives only for this
+  // sweep and rewinds with the scope.
+  Arena &A = threadArena();
+  ArenaScope Scope(A);
+  uint64_t *Fps = A.alloc<uint64_t>(N);
+  for (size_t I = 0; I != N; ++I)
+    Fps[I] = Batch[I].fingerprint();
+
+  size_t Hit = simd::npos;
+  for (size_t From = 0;;) {
+    size_t I = simd::findEqualU64(Fps, N, ExpectedFp, From);
+    if (I == simd::npos)
+      break;
+    // Fingerprint hit: confirm with the scalar check. equalsUnordered
+    // re-verifies schema and row count, so a cross-schema fingerprint
+    // collision cannot slip through; a confirm failure (64-bit collision)
+    // resumes the sweep past it.
+    if (Batch[I].equalsUnordered(Expected)) {
+      Hit = I;
+      break;
+    }
+    From = I + 1;
+  }
+  Batch.clear();
+  return Hit;
+}
+
+size_t morpheus::checkCandidates(const Table &Expected,
+                                 const std::vector<Table> &Candidates) {
+  BatchChecker Checker(Expected);
+  std::vector<size_t> Enqueued; // batch slot -> index into Candidates
+  Enqueued.reserve(BatchChecker::Capacity);
+  for (size_t I = 0; I != Candidates.size(); ++I) {
+    if (Checker.add(Candidates[I]))
+      Enqueued.push_back(I);
+    if (Checker.full()) {
+      size_t Hit = Checker.flush();
+      if (Hit != simd::npos)
+        return Enqueued[Hit];
+      Enqueued.clear();
+    }
+  }
+  size_t Hit = Checker.flush();
+  return Hit == simd::npos ? simd::npos : Enqueued[Hit];
+}

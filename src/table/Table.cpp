@@ -6,6 +6,8 @@
 
 #include "table/Table.h"
 
+#include "support/Arena.h"
+#include "support/Simd.h"
 #include "table/TableUtils.h"
 
 #include <algorithm>
@@ -152,6 +154,9 @@ size_t Table::numGroups() const { return groupedRowIndices().size(); }
 
 namespace {
 
+/// The fingerprint finalizer. support/Simd.cpp's foldRowHashesU64 and
+/// reduceSumXorU64 embed the same mixer; the cross-tier fingerprint parity
+/// test (TableTest) guards the pairing.
 inline uint64_t mix64(uint64_t X) {
   X ^= X >> 33;
   X *= 0xff51afd7ed558ccdULL;
@@ -179,12 +184,55 @@ uint64_t Table::fingerprint() const {
   // numeric hashing keeps tolerant-equal cells fingerprint-equal for all
   // values that arise in practice.
   uint64_t Sum = 0, Xor = 0;
-  for (size_t R = 0; R != NRows; ++R) {
-    uint64_t RH = 0x9e3779b97f4a7c15ULL;
-    for (size_t C = 0; C != Cols.size(); ++C)
-      RH = mix64(RH ^ uint64_t((*Cols[C])[R].hash()));
-    Sum += RH;
-    Xor ^= mix64(RH);
+  if (simd::activeSimdLevel() != simd::SimdLevel::Scalar && NRows != 0) {
+    // Columnar restatement of the scalar loop below: hash each column's
+    // cells into a contiguous span, fold spans into the per-row hashes
+    // column by column (simd::foldRowHashesU64 applies the same
+    // RH = mix64(RH ^ cell) step, so the in-row column order is
+    // preserved), then reduce. Sum and xor are commutative/associative,
+    // so lane reassociation cannot change the result — the cross-tier
+    // fingerprint parity test in TableTest pins this down.
+    Arena &A = threadArena();
+    ArenaScope Scope(A);
+    uint64_t *RowHs = A.alloc<uint64_t>(NRows);
+    uint32_t *SlowIdx = A.alloc<uint32_t>(NRows);
+    for (size_t R = 0; R != NRows; ++R)
+      RowHs[R] = 0x9e3779b97f4a7c15ULL;
+    static_assert(sizeof(Value) == 16,
+                  "raw-cell kernels assume 16-byte cells");
+    for (size_t C = 0; C != Cols.size(); ++C) {
+      const ColumnData &Col = *Cols[C];
+      // One streamed pass per column: the raw-cell kernels read the Value
+      // structs in place (layout contract in support/Simd.h, pinned by
+      // TableTest) and fold each cell's hash into its row hash. Lanes the
+      // fast paths cannot cover — non-integral numbers (printed-form
+      // hashing) and cells whose type differs from the schema's (a mixed
+      // column, impossible via the public constructors) — come back in
+      // SlowIdx and are folded here with the full scalar Value::hash. The
+      // salts are Value.cpp's mixInt salts; the cross-tier fingerprint
+      // parity test guards the pairing.
+      size_t NSlow =
+          TableSchema[C].Type == CellType::Str
+              ? simd::foldStrCellsU64(RowHs, Col.data(), NRows,
+                                      uint32_t(CellType::Str),
+                                      0x5851f42d4c957f2dULL, SlowIdx)
+              : simd::foldNumCellsU64(RowHs, Col.data(), NRows,
+                                      uint32_t(CellType::Num),
+                                      0x2545f4914f6cdd1dULL, SlowIdx);
+      for (size_t S = 0; S != NSlow; ++S) {
+        size_t R = SlowIdx[S];
+        RowHs[R] = mix64(RowHs[R] ^ uint64_t(Col[R].hash()));
+      }
+    }
+    simd::reduceSumXorU64(RowHs, NRows, Sum, Xor);
+  } else {
+    for (size_t R = 0; R != NRows; ++R) {
+      uint64_t RH = 0x9e3779b97f4a7c15ULL;
+      for (size_t C = 0; C != Cols.size(); ++C)
+        RH = mix64(RH ^ uint64_t((*Cols[C])[R].hash()));
+      Sum += RH;
+      Xor ^= mix64(RH);
+    }
   }
   uint64_t Fp = mix64(H ^ Sum) ^ mix64(Xor ^ (uint64_t(NRows) << 32));
 

@@ -6,6 +6,10 @@
 
 #include "table/TableUtils.h"
 
+#include "support/Arena.h"
+#include "support/Simd.h"
+
+#include <cstring>
 #include <unordered_map>
 
 using namespace morpheus;
@@ -82,6 +86,62 @@ RowGrouping morpheus::groupRowsBy(const Table &T,
     for (const Value &V : T.col(KeyIdx[K]))
       Keys[K].push_back(V.typedToken());
   }
+  auto Equal = [&](size_t A, size_t B) {
+    for (size_t K = 0; K != Keys.size(); ++K)
+      if (Keys[K][A] != Keys[K][B])
+        return false;
+    return true;
+  };
+  const size_t N = T.numRows();
+  RowGrouping G;
+  G.GroupOf.resize(N);
+
+  if (simd::activeSimdLevel() != simd::SimdLevel::Scalar && N != 0) {
+    // Vectorized path: the per-row key hash becomes one FNV-combine sweep
+    // per key column over the contiguous token spans, and the bucket map
+    // becomes a flat open-addressing table in arena scratch. Group
+    // identity is decided by Equal over the full key tuples, never by the
+    // hash, and rows are scanned in order — so FirstRow/GroupOf come out
+    // identical to the scalar path (first-appearance numbering) no matter
+    // how probing lays groups out.
+    Arena &A = threadArena();
+    ArenaScope Scope(A);
+    uint64_t *Hs = A.alloc<uint64_t>(N);
+    for (size_t R = 0; R != N; ++R)
+      Hs[R] = 0xcbf29ce484222325ULL;
+    for (size_t K = 0; K != Keys.size(); ++K)
+      simd::fnvCombineU64(Hs, Keys[K].data(), N);
+
+    size_t Cap = 16;
+    while (Cap < 2 * N)
+      Cap *= 2;
+    constexpr uint32_t Empty = UINT32_MAX;
+    uint32_t *SlotGid = A.alloc<uint32_t>(Cap);
+    uint64_t *SlotHash = A.alloc<uint64_t>(Cap);
+    std::memset(SlotGid, 0xFF, Cap * sizeof(uint32_t));
+    for (size_t R = 0; R != N; ++R) {
+      size_t S = size_t(Hs[R]) & (Cap - 1);
+      for (;;) {
+        uint32_t Gid = SlotGid[S];
+        if (Gid == Empty) {
+          Gid = uint32_t(G.FirstRow.size());
+          G.FirstRow.push_back(R);
+          SlotGid[S] = Gid;
+          SlotHash[S] = Hs[R];
+          G.GroupOf[R] = Gid;
+          break;
+        }
+        if (SlotHash[S] == Hs[R] && Equal(G.FirstRow[Gid], R)) {
+          G.GroupOf[R] = Gid;
+          break;
+        }
+        S = (S + 1) & (Cap - 1);
+      }
+    }
+    return G;
+  }
+
+  // Scalar reference path.
   auto Hash = [&](size_t R) {
     uint64_t H = 0xcbf29ce484222325ULL;
     for (size_t K = 0; K != Keys.size(); ++K) {
@@ -90,16 +150,8 @@ RowGrouping morpheus::groupRowsBy(const Table &T,
     }
     return H;
   };
-  auto Equal = [&](size_t A, size_t B) {
-    for (size_t K = 0; K != Keys.size(); ++K)
-      if (Keys[K][A] != Keys[K][B])
-        return false;
-    return true;
-  };
-  RowGrouping G;
-  G.GroupOf.resize(T.numRows());
   std::unordered_map<uint64_t, std::vector<size_t>> Buckets;
-  for (size_t R = 0; R != T.numRows(); ++R) {
+  for (size_t R = 0; R != N; ++R) {
     std::vector<size_t> &Bucket = Buckets[Hash(R)];
     size_t Id = SIZE_MAX;
     for (size_t Candidate : Bucket)

@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Engine.h"
 #include "interp/Components.h"
 #include "spec/Abstraction.h"
 #include "suite/Task.h"
@@ -335,6 +336,146 @@ TEST(GoldenRenders, All108GroundTruthsRenderByteIdentically) {
       Actual << "-- in" << I << "\n" << T.Inputs[I].toString();
   }
   EXPECT_EQ(Actual.str(), Expected.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Vectorization tier parity: the SIMD kernels (support/Simd.h) are pure
+// performance — every dispatch tier must render byte-identical evaluation
+// results, and batched candidate checking must synthesize byte-identical
+// programs. Each test computes a forced-Scalar reference first, then
+// re-runs under every tier (forcing above the CPU's capability clamps
+// down, so the sweep degenerates gracefully on older machines).
+//===----------------------------------------------------------------------===//
+
+struct ForcedTier {
+  explicit ForcedTier(simd::SimdLevel L) { simd::forceSimdLevel(L); }
+  ~ForcedTier() { simd::clearForcedSimdLevel(); }
+};
+
+const simd::SimdLevel AllTiers[] = {simd::SimdLevel::Scalar,
+                                    simd::SimdLevel::SSE2,
+                                    simd::SimdLevel::AVX2};
+
+TEST_P(RandomTables, VerbEvaluationIsTierInvariant) {
+  Table T = randomTable(GetParam());
+  // Programs covering the vectorized evaluation paths: filter predicates
+  // (selection-vector compare kernels), group-by + summarise (key-hash
+  // kernels), and distinct (row-hash grouping).
+  std::vector<HypPtr> Programs = {
+      distinct(in(0)),
+      summarise(groupBy(in(0), {"key"}), "agg_out", "n"),
+      arrange(in(0), {T.schema()[1].Name}),
+  };
+  ComponentLibrary Lib = StandardComponents::get().tidyDplyr();
+  Inhabitation Inhab(Lib, {});
+  Inhab.enumerate(ParamKind::Pred, {T}, T, 0, [&](TermPtr P) {
+    Programs.push_back(Hypothesis::apply(
+        StandardComponents::get().find("filter"),
+        {Hypothesis::input(0), Hypothesis::filled(ParamKind::Pred, P)}));
+    return true;
+  });
+  for (const HypPtr &Prog : Programs) {
+    std::string Ref;
+    bool RefHas;
+    {
+      ForcedTier F(simd::SimdLevel::Scalar);
+      std::optional<Table> Out = Prog->evaluate({T});
+      RefHas = Out.has_value();
+      Ref = RefHas ? Out->toString() : "";
+    }
+    for (simd::SimdLevel L : AllTiers) {
+      ForcedTier F(L);
+      std::optional<Table> Out = Prog->evaluate({T});
+      ASSERT_EQ(Out.has_value(), RefHas) << simd::simdLevelName(L);
+      if (RefHas)
+        EXPECT_EQ(Out->toString(), Ref) << simd::simdLevelName(L);
+    }
+  }
+}
+
+TEST(GoldenRenders, GroundTruthEvaluationIsTierInvariant) {
+  // All 108 suite ground truths, evaluated on their inputs under every
+  // dispatch tier, must render byte-identically.
+  std::vector<BenchmarkTask> All = morpheusSuite();
+  for (const BenchmarkTask &T : sqlSuite())
+    All.push_back(T);
+  ASSERT_EQ(All.size(), 108u);
+  std::vector<std::string> Ref;
+  {
+    ForcedTier F(simd::SimdLevel::Scalar);
+    for (const BenchmarkTask &T : All) {
+      std::optional<Table> Out = T.GroundTruth->evaluate(T.Inputs);
+      ASSERT_TRUE(Out) << T.Id;
+      Ref.push_back(Out->toString());
+    }
+  }
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    for (size_t I = 0; I != All.size(); ++I) {
+      std::optional<Table> Out = All[I].GroundTruth->evaluate(All[I].Inputs);
+      ASSERT_TRUE(Out) << All[I].Id << " " << simd::simdLevelName(L);
+      EXPECT_EQ(Out->toString(), Ref[I])
+          << All[I].Id << " " << simd::simdLevelName(L);
+    }
+  }
+}
+
+TEST(SynthesisParity, BatchedAndScalarCheckingFindIdenticalPrograms) {
+  // Small problems the sequential search solves well inside the budget;
+  // what matters is that flipping the dispatch tier and the batched
+  // sibling check never changes WHICH program wins, only how fast.
+  Table People = makeTable({{"name", CellType::Str},
+                            {"dept", CellType::Str},
+                            {"score", CellType::Num}},
+                           {{str("ann"), str("eng"), num(14)},
+                            {str("bob"), str("ops"), num(7)},
+                            {str("cid"), str("eng"), num(22)},
+                            {str("dee"), str("ops"), num(3)},
+                            {str("eli"), str("eng"), num(9)}});
+  std::vector<Problem> Problems;
+  { // filter: rows with score above a constant
+    Table Out = makeTable({{"name", CellType::Str},
+                           {"dept", CellType::Str},
+                           {"score", CellType::Num}},
+                          {{str("ann"), str("eng"), num(14)},
+                           {str("cid"), str("eng"), num(22)}});
+    Problems.push_back(Problem::fromTables({People}, Out));
+  }
+  { // select: drop a column
+    Table Out = makeTable({{"name", CellType::Str}, {"score", CellType::Num}},
+                          {{str("ann"), num(14)},
+                           {str("bob"), num(7)},
+                           {str("cid"), num(22)},
+                           {str("dee"), num(3)},
+                           {str("eli"), num(9)}});
+    Problems.push_back(Problem::fromTables({People}, Out));
+  }
+  { // group_by + summarise: per-department counts
+    Table Out = makeTable({{"dept", CellType::Str}, {"n", CellType::Num}},
+                          {{str("eng"), num(3)}, {str("ops"), num(2)}});
+    Problems.push_back(Problem::fromTables({People}, Out));
+  }
+  auto solveWith = [](const Problem &P, bool Batched, simd::SimdLevel L) {
+    ForcedTier F(L);
+    SynthesisConfig Cfg;
+    Cfg.Timeout = std::chrono::milliseconds(30000);
+    Cfg.UseBatchedCheck = Batched;
+    Engine E(StandardComponents::get().tidyDplyr(),
+             EngineOptions().config(Cfg));
+    return E.solve(P);
+  };
+  for (size_t I = 0; I != Problems.size(); ++I) {
+    Solution Ref = solveWith(Problems[I], false, simd::SimdLevel::Scalar);
+    ASSERT_TRUE(bool(Ref)) << "problem " << I << " unsolved (scalar)";
+    std::string RefProg = Ref.Program->toString();
+    for (simd::SimdLevel L : AllTiers) {
+      Solution S = solveWith(Problems[I], true, L);
+      ASSERT_TRUE(bool(S))
+          << "problem " << I << " unsolved at " << simd::simdLevelName(L);
+      EXPECT_EQ(S.Program->toString(), RefProg)
+          << "problem " << I << " at " << simd::simdLevelName(L);
+    }
+  }
 }
 
 } // namespace

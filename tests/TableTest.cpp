@@ -4,10 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
+#include "support/Simd.h"
+#include "table/BatchCheck.h"
 #include "table/Table.h"
 #include "table/TableUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
 
 using namespace morpheus;
 
@@ -197,6 +204,411 @@ TEST(TableUtils, DistinctColumnValues) {
   ASSERT_EQ(D.size(), 2u);
   EXPECT_EQ(D[0], str("b")); // first-appearance order
   EXPECT_EQ(D[1], str("a"));
+}
+
+//===----------------------------------------------------------------------===//
+// Raw cell layout: the contract the fold*CellsU64 kernels (support/Simd.h)
+// stream over. Pinned empirically so a Value layout change cannot silently
+// desynchronize the kernels from Value::hash.
+//===----------------------------------------------------------------------===//
+
+TEST(Value, RawCellLayout) {
+  ASSERT_EQ(sizeof(Value), 16u);
+  char Raw[16];
+  Value N = num(-12.75);
+  std::memcpy(Raw, &N, 16);
+  double Payload;
+  std::memcpy(&Payload, Raw, 8); // payload double at byte 0
+  EXPECT_EQ(Payload, -12.75);
+  uint32_t Type;
+  std::memcpy(&Type, Raw + 12, 4); // 32-bit type code at byte 12
+  EXPECT_EQ(Type, uint32_t(CellType::Num));
+
+  Value S = str("abc");
+  std::memcpy(Raw, &S, 16);
+  uint32_t Id;
+  std::memcpy(&Id, Raw + 8, 4); // interner id at byte 8
+  EXPECT_EQ(Id, S.strId());
+  std::memcpy(&Type, Raw + 12, 4);
+  EXPECT_EQ(Type, uint32_t(CellType::Str));
+}
+
+//===----------------------------------------------------------------------===//
+// Arena (support/Arena.h): bump allocation, scope rewind, chunk retention
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AlignsAndGrows) {
+  Arena A(64); // tiny first chunk so the big request forces growth
+  char *C = A.alloc<char>(3);
+  (void)C;
+  double *D = A.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(D) % alignof(double), 0u);
+  uint64_t *Big = A.alloc<uint64_t>(1024); // larger than any chunk so far
+  Big[0] = 1;
+  Big[1023] = 42;
+  EXPECT_EQ(Big[1023], 42u);
+  EXPECT_GE(A.capacityBytes(), 1024 * sizeof(uint64_t));
+}
+
+TEST(Arena, ScopeRewindReusesMemory) {
+  Arena A;
+  void *First = nullptr;
+  {
+    ArenaScope S(A);
+    First = A.alloc<uint64_t>(16);
+  }
+  {
+    ArenaScope S(A);
+    // The scope rewound the cursor, so the same block comes back.
+    EXPECT_EQ(A.alloc<uint64_t>(16), First);
+  }
+}
+
+TEST(Arena, ScopesNestLikeAStack) {
+  Arena A;
+  ArenaScope Outer(A);
+  uint64_t *X = A.alloc<uint64_t>(4);
+  X[0] = 7;
+  void *Inner = nullptr;
+  {
+    ArenaScope S(A);
+    Inner = A.alloc<uint64_t>(4);
+    EXPECT_NE(Inner, static_cast<void *>(X));
+  }
+  // The inner rewind released only the inner allocation.
+  EXPECT_EQ(X[0], 7u);
+  EXPECT_EQ(A.alloc<uint64_t>(4), Inner);
+}
+
+TEST(Arena, RetainsChunksAcrossReset) {
+  Arena A(128);
+  A.alloc<char>(100);
+  A.alloc<char>(200); // spills into a second chunk
+  size_t Cap = A.capacityBytes();
+  A.reset();
+  A.alloc<char>(100);
+  A.alloc<char>(200);
+  // Steady state: rewinding keeps the chunks, so repeating the same
+  // allocation pattern allocates nothing new.
+  EXPECT_EQ(A.capacityBytes(), Cap);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel parity: every dispatch tier must compute bit-identical results.
+// Each test computes the forced-Scalar reference first, then re-runs under
+// every tier (force requests above the CPU's capability clamp down, so on
+// a non-AVX2 machine the AVX2 row degenerates to a cheap re-check).
+//===----------------------------------------------------------------------===//
+
+struct ForcedTier {
+  explicit ForcedTier(simd::SimdLevel L) { simd::forceSimdLevel(L); }
+  ~ForcedTier() { simd::clearForcedSimdLevel(); }
+};
+
+const simd::SimdLevel AllTiers[] = {simd::SimdLevel::Scalar,
+                                    simd::SimdLevel::SSE2,
+                                    simd::SimdLevel::AVX2};
+
+TEST(Simd, FindEqualU64ParityAllTiers) {
+  std::vector<uint64_t> Xs(133);
+  for (size_t I = 0; I != Xs.size(); ++I)
+    Xs[I] = I * 2 + 1; // odd values; even targets cannot collide
+  Xs[77] = 1000;
+  Xs[131] = 1000;
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    EXPECT_EQ(simd::findEqualU64(Xs.data(), Xs.size(), 1000), 77u);
+    EXPECT_EQ(simd::findEqualU64(Xs.data(), Xs.size(), 1000, 78), 131u);
+    EXPECT_EQ(simd::findEqualU64(Xs.data(), Xs.size(), 2000), simd::npos);
+    EXPECT_EQ(simd::findEqualU64(Xs.data(), 0, 1000), simd::npos);
+    EXPECT_EQ(simd::findEqualU64(Xs.data(), Xs.size(), 1000, 132),
+              simd::npos);
+  }
+}
+
+TEST(Simd, SelectCmpF64ParityAllTiers) {
+  const double C = 100.0;
+  // Edge inputs around compare()'s tolerant equality (|a-b| <= 1e-9 *
+  // max(|a|,|b|,1)): exact hit, within-tolerance, just outside, NaN and
+  // infinities, zeros, and plain misses on both sides.
+  std::vector<double> Xs = {100.0,
+                            100.0 + 5e-8,
+                            100.0 - 5e-8,
+                            100.0 + 1e-6,
+                            100.0 - 1e-6,
+                            std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            0.0,
+                            -0.0,
+                            99.0,
+                            101.0,
+                            -100.0};
+  // Pad past one vector width so every tier runs its tail loop too.
+  for (int I = 0; I != 9; ++I)
+    Xs.push_back(90.0 + I);
+  const simd::CmpOp Ops[] = {simd::CmpOp::Eq, simd::CmpOp::Ne,
+                             simd::CmpOp::Lt, simd::CmpOp::Le,
+                             simd::CmpOp::Gt, simd::CmpOp::Ge};
+  for (simd::CmpOp Op : Ops) {
+    std::vector<uint32_t> Ref(Xs.size());
+    size_t NRef;
+    {
+      ForcedTier F(simd::SimdLevel::Scalar);
+      NRef = simd::selectCmpF64(Xs.data(), Xs.size(), C, Op, Ref.data());
+    }
+    for (simd::SimdLevel L : AllTiers) {
+      ForcedTier F(L);
+      std::vector<uint32_t> Out(Xs.size());
+      size_t N = simd::selectCmpF64(Xs.data(), Xs.size(), C, Op, Out.data());
+      ASSERT_EQ(N, NRef) << "op " << int(Op) << " tier "
+                         << simd::simdLevelName(L);
+      for (size_t I = 0; I != N; ++I)
+        EXPECT_EQ(Out[I], Ref[I]);
+    }
+  }
+}
+
+TEST(Simd, SelectCmpU32ParityAllTiers) {
+  std::vector<uint32_t> Ids;
+  for (uint32_t I = 0; I != 41; ++I)
+    Ids.push_back(I % 5);
+  for (bool Ne : {false, true}) {
+    for (uint32_t Target : {3u, 99u}) { // present and absent
+      std::vector<uint32_t> Ref(Ids.size());
+      size_t NRef;
+      {
+        ForcedTier F(simd::SimdLevel::Scalar);
+        NRef = simd::selectCmpU32(Ids.data(), Ids.size(), Target, Ne,
+                                  Ref.data());
+      }
+      for (simd::SimdLevel L : AllTiers) {
+        ForcedTier F(L);
+        std::vector<uint32_t> Out(Ids.size());
+        size_t N =
+            simd::selectCmpU32(Ids.data(), Ids.size(), Target, Ne, Out.data());
+        ASSERT_EQ(N, NRef);
+        for (size_t I = 0; I != N; ++I)
+          EXPECT_EQ(Out[I], Ref[I]);
+      }
+    }
+  }
+}
+
+TEST(Simd, HashKernelParityAllTiers) {
+  // fnvCombine / foldRowHashes / reduceSumXor over pseudo-random spans
+  // whose length exercises the vector body and the scalar tail.
+  const size_t N = 71;
+  std::vector<uint64_t> Ks(N), Seed(N);
+  uint64_t S = 0x1234;
+  for (size_t I = 0; I != N; ++I) {
+    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    Ks[I] = S;
+    Seed[I] = S ^ (I * 0x9e3779b97f4a7c15ULL);
+  }
+  std::vector<uint64_t> RefFnv, RefFold;
+  uint64_t RefSum = 0, RefXor = 0;
+  {
+    ForcedTier F(simd::SimdLevel::Scalar);
+    RefFnv = Seed;
+    simd::fnvCombineU64(RefFnv.data(), Ks.data(), N);
+    RefFold = Seed;
+    simd::foldRowHashesU64(RefFold.data(), Ks.data(), N);
+    simd::reduceSumXorU64(RefFold.data(), N, RefSum, RefXor);
+  }
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    std::vector<uint64_t> Fnv = Seed, Fold = Seed;
+    simd::fnvCombineU64(Fnv.data(), Ks.data(), N);
+    simd::foldRowHashesU64(Fold.data(), Ks.data(), N);
+    uint64_t Sum = 0, Xor = 0;
+    simd::reduceSumXorU64(Fold.data(), N, Sum, Xor);
+    EXPECT_EQ(Fnv, RefFnv) << simd::simdLevelName(L);
+    EXPECT_EQ(Fold, RefFold) << simd::simdLevelName(L);
+    EXPECT_EQ(Sum, RefSum) << simd::simdLevelName(L);
+    EXPECT_EQ(Xor, RefXor) << simd::simdLevelName(L);
+  }
+}
+
+TEST(Simd, FoldCellKernelParityAllTiers) {
+  // A numeric column with every fast/slow edge: integral values, the 1e15
+  // boundary (1e15 - 1 is fast, 1e15 itself is slow), negatives, -0.0,
+  // non-integral values, NaN, both infinities — plus str cells to model a
+  // foreign-typed lane. The str column likewise gets num intruders.
+  std::vector<Value> NumCells = {
+      num(0),    num(1),      num(-1),     num(42),
+      num(-0.0), num(1e15 - 1), num(-1e15 + 1), num(1e15),
+      num(-1e15), num(2.5),   num(-2.5),   num(1.0 / 3.0),
+      num(std::numeric_limits<double>::quiet_NaN()),
+      num(std::numeric_limits<double>::infinity()),
+      num(-std::numeric_limits<double>::infinity()),
+      str("intruder"), num(7),  num(123456789)};
+  std::vector<Value> StrCells = {str("a"), str("b"), str(""), num(3),
+                                 str("a"), str("long-ish token value"),
+                                 str("c"), num(2.5), str("d")};
+  auto RunNum = [&](std::vector<uint64_t> &RowHs,
+                    std::vector<uint32_t> &Slow) {
+    RowHs.assign(NumCells.size(), 0x9e3779b97f4a7c15ULL);
+    Slow.resize(NumCells.size());
+    size_t NSlow = simd::foldNumCellsU64(
+        RowHs.data(), NumCells.data(), NumCells.size(),
+        uint32_t(CellType::Num), 0x2545f4914f6cdd1dULL, Slow.data());
+    Slow.resize(NSlow);
+  };
+  auto RunStr = [&](std::vector<uint64_t> &RowHs,
+                    std::vector<uint32_t> &Slow) {
+    RowHs.assign(StrCells.size(), 0x9e3779b97f4a7c15ULL);
+    Slow.resize(StrCells.size());
+    size_t NSlow = simd::foldStrCellsU64(
+        RowHs.data(), StrCells.data(), StrCells.size(),
+        uint32_t(CellType::Str), 0x5851f42d4c957f2dULL, Slow.data());
+    Slow.resize(NSlow);
+  };
+  std::vector<uint64_t> RefNumHs, RefStrHs;
+  std::vector<uint32_t> RefNumSlow, RefStrSlow;
+  {
+    ForcedTier F(simd::SimdLevel::Scalar);
+    RunNum(RefNumHs, RefNumSlow);
+    RunStr(RefStrHs, RefStrSlow);
+  }
+  // The scalar reference must route exactly the right lanes to the slow
+  // path: everything from index 7 (1e15) through 15 (the str cell).
+  EXPECT_EQ(RefNumSlow, (std::vector<uint32_t>{7, 8, 9, 10, 11, 12, 13, 14,
+                                               15}));
+  EXPECT_EQ(RefStrSlow, (std::vector<uint32_t>{3, 7}));
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    std::vector<uint64_t> NumHs, StrHs;
+    std::vector<uint32_t> NumSlow, StrSlow;
+    RunNum(NumHs, NumSlow);
+    RunStr(StrHs, StrSlow);
+    EXPECT_EQ(NumHs, RefNumHs) << simd::simdLevelName(L);
+    EXPECT_EQ(NumSlow, RefNumSlow) << simd::simdLevelName(L);
+    EXPECT_EQ(StrHs, RefStrHs) << simd::simdLevelName(L);
+    EXPECT_EQ(StrSlow, RefStrSlow) << simd::simdLevelName(L);
+  }
+}
+
+TEST(Table, FingerprintParityAcrossTiers) {
+  // Fresh uncached wrappers per tier: fingerprint() caches per Table, so a
+  // reused wrapper would compare one tier against its own cached value.
+  Table Mixed = makeTable(
+      {{"k", CellType::Str}, {"a", CellType::Num}, {"b", CellType::Num}},
+      {{str("x"), num(1), num(2.5)},
+       {str("y"), num(-7), num(1.0 / 3.0)},
+       {str("x"), num(1e15), num(std::numeric_limits<double>::infinity())},
+       {str(""), num(-0.0), num(std::numeric_limits<double>::quiet_NaN())},
+       {str("z"), num(123456), num(-1e15 + 1)}});
+  std::vector<ColumnPtr> Handles;
+  for (size_t C = 0; C != Mixed.numCols(); ++C)
+    Handles.push_back(Mixed.colHandle(C));
+  uint64_t Ref;
+  {
+    ForcedTier F(simd::SimdLevel::Scalar);
+    Ref = Table(Mixed.schema(), Handles, Mixed.numRows()).fingerprint();
+  }
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    EXPECT_EQ(Table(Mixed.schema(), Handles, Mixed.numRows()).fingerprint(),
+              Ref)
+        << simd::simdLevelName(L);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BatchChecker (table/BatchCheck.h)
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCheck, FirstMatchWinsAndUnorderedSemantics) {
+  Table E = roster();
+  // A row permutation of E equals it under unordered comparison; the
+  // scalar one-at-a-time chain would accept the first equal candidate, so
+  // flush must return the *earliest* batch index.
+  Table Permuted = makeTable({{"id", CellType::Num},
+                              {"name", CellType::Str},
+                              {"age", CellType::Num}},
+                             {{num(3), str("Tom"), num(12)},
+                              {num(1), str("Alice"), num(8)},
+                              {num(2), str("Bob"), num(18)}});
+  Table Miss = makeTable({{"id", CellType::Num},
+                          {"name", CellType::Str},
+                          {"age", CellType::Num}},
+                         {{num(1), str("Alice"), num(8)},
+                          {num(2), str("Bob"), num(18)},
+                          {num(3), str("Tom"), num(99)}});
+  BatchChecker Checker(E);
+  EXPECT_TRUE(Checker.add(Miss));
+  EXPECT_TRUE(Checker.add(Permuted));
+  EXPECT_TRUE(Checker.add(E));
+  EXPECT_EQ(Checker.flush(), 1u);
+  // flush cleared the batch.
+  EXPECT_EQ(Checker.size(), 0u);
+  EXPECT_EQ(Checker.flush(), simd::npos);
+}
+
+TEST(BatchCheck, ShapeGateRejectsWithoutEnqueuing) {
+  Table E = roster();
+  BatchChecker Checker(E);
+  Table WrongRows = makeTable({{"id", CellType::Num},
+                               {"name", CellType::Str},
+                               {"age", CellType::Num}},
+                              {{num(1), str("Alice"), num(8)}});
+  Table WrongCols =
+      makeTable({{"id", CellType::Num}}, {{num(1)}, {num(2)}, {num(3)}});
+  EXPECT_FALSE(Checker.add(WrongRows));
+  EXPECT_FALSE(Checker.add(WrongCols));
+  EXPECT_EQ(Checker.size(), 0u);
+  EXPECT_EQ(Checker.flush(), simd::npos);
+}
+
+TEST(BatchCheck, CheckCandidatesMapsIndicesAcrossBatches) {
+  Table E = roster();
+  // More candidates than one batch (Capacity = 64) with shape-gated
+  // rejects interleaved: the returned index must be into the ORIGINAL
+  // candidate list, and the hit sits past the first flush boundary.
+  std::vector<Table> Pool;
+  Table Short = makeTable({{"id", CellType::Num},
+                           {"name", CellType::Str},
+                           {"age", CellType::Num}},
+                          {{num(1), str("Alice"), num(8)}});
+  for (int I = 0; I != 70; ++I) {
+    if (I % 10 == 3) {
+      Pool.push_back(Short); // rejected by the shape gate
+      continue;
+    }
+    Pool.push_back(makeTable({{"id", CellType::Num},
+                              {"name", CellType::Str},
+                              {"age", CellType::Num}},
+                             {{num(1), str("Alice"), num(8)},
+                              {num(2), str("Bob"), num(18)},
+                              {num(3), str("Tom"), num(100 + I)}}));
+  }
+  EXPECT_EQ(checkCandidates(E, Pool), simd::npos);
+  Pool.push_back(E);
+  EXPECT_EQ(checkCandidates(E, Pool), Pool.size() - 1);
+}
+
+TEST(BatchCheck, AllTiersAgree) {
+  Table E = roster();
+  std::vector<Table> Pool;
+  for (int I = 0; I != 10; ++I)
+    Pool.push_back(makeTable({{"id", CellType::Num},
+                              {"name", CellType::Str},
+                              {"age", CellType::Num}},
+                             {{num(1), str("Alice"), num(8)},
+                              {num(2), str("Bob"), num(18)},
+                              {num(3), str("Tom"), num(100 + I)}}));
+  Pool.insert(Pool.begin() + 6, E);
+  for (simd::SimdLevel L : AllTiers) {
+    ForcedTier F(L);
+    // Fresh expected wrapper too: its fingerprint cache is tier-agnostic
+    // by the parity above, but keep the tiers fully independent anyway.
+    std::vector<ColumnPtr> Handles;
+    for (size_t C = 0; C != E.numCols(); ++C)
+      Handles.push_back(E.colHandle(C));
+    Table Fresh(E.schema(), Handles, E.numRows());
+    EXPECT_EQ(checkCandidates(Fresh, Pool), 6u) << simd::simdLevelName(L);
+  }
 }
 
 } // namespace

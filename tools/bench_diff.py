@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_synth.json perf snapshots (morpheus bench --json).
+
+Compares a baseline snapshot against a current one and flags regressions:
+
+  * any task solved in the baseline but unsolved now (always a failure),
+  * per-task solve time growing by more than the threshold (default 10%),
+  * suite medians / totals growing by more than the threshold,
+  * solved-count drops.
+
+Solve times below --min-seconds (default 0.05s) are skipped for the
+percentage checks: at that scale the signal is scheduler noise, not the
+engine. New or removed tasks are reported but never fail the diff, so
+snapshots taken across suite growth stay comparable.
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = bad input.
+CI runs this as a non-blocking step (continue-on-error); flip that off to
+make it a gate once runner noise is characterized.
+
+Usage:
+  tools/bench_diff.py baseline.json current.json [--threshold 0.10]
+                      [--min-seconds 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_id(snapshot):
+    return {t["id"]: t for t in snapshot.get("tasks", [])}
+
+
+def pct(new, old):
+    return (new - old) / old * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative growth that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--min-seconds", type=float, default=0.05,
+                    help="ignore timing checks for tasks faster than this "
+                         "in the baseline (default 0.05)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_tasks, cur_tasks = by_id(base), by_id(cur)
+
+    regressions = []
+    notes = []
+
+    for tid, b in sorted(base_tasks.items()):
+        c = cur_tasks.get(tid)
+        if c is None:
+            notes.append(f"task {tid}: removed from suite")
+            continue
+        if b.get("solved") and not c.get("solved"):
+            regressions.append(f"task {tid}: was solved, now unsolved")
+            continue
+        if not b.get("solved") and c.get("solved"):
+            notes.append(f"task {tid}: newly solved")
+            continue
+        if not (b.get("solved") and c.get("solved")):
+            continue
+        bp, cp = b.get("program", ""), c.get("program", "")
+        if bp and cp and bp != cp:
+            notes.append(f"task {tid}: synthesized program changed")
+        bs, cs = b.get("seconds", 0.0), c.get("seconds", 0.0)
+        if bs < args.min_seconds:
+            continue
+        if cs > bs * (1.0 + args.threshold):
+            regressions.append(
+                f"task {tid}: {bs:.3f}s -> {cs:.3f}s ({pct(cs, bs):+.1f}%)")
+        elif cs < bs * (1.0 - args.threshold):
+            notes.append(
+                f"task {tid}: improved {bs:.3f}s -> {cs:.3f}s "
+                f"({pct(cs, bs):+.1f}%)")
+
+    for tid in sorted(set(cur_tasks) - set(base_tasks)):
+        notes.append(f"task {tid}: new in suite")
+
+    bsum, csum = base.get("summary", {}), cur.get("summary", {})
+    b_solved, c_solved = bsum.get("solved", 0), csum.get("solved", 0)
+    if c_solved < b_solved:
+        regressions.append(f"summary: solved count {b_solved:g} -> {c_solved:g}")
+    for key in ("median_solved_seconds", "total_seconds"):
+        bv, cv = bsum.get(key, 0.0), csum.get(key, 0.0)
+        if bv >= args.min_seconds and cv > bv * (1.0 + args.threshold):
+            regressions.append(
+                f"summary: {key} {bv:.3f} -> {cv:.3f} ({pct(cv, bv):+.1f}%)")
+
+    print(f"bench_diff: {base.get('suite', '?')} suite, "
+          f"{len(base_tasks)} baseline / {len(cur_tasks)} current tasks, "
+          f"threshold {args.threshold:.0%}")
+    for n in notes:
+        print(f"  note: {n}")
+    if regressions:
+        print(f"  {len(regressions)} regression(s):")
+        for r in regressions:
+            print(f"  REGRESSION: {r}")
+        return 1
+    print("  no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@
 #include "io/TableIO.h"
 #include "service/SynthService.h"
 #include "suite/Runner.h"
+#include "support/Simd.h"
 #include "support/Sync.h"
 
 #include <algorithm>
@@ -90,6 +91,9 @@ int usage(const char *Msg = nullptr) {
       "  --sharing off|per-solve|process  refutation-store sharing across\n"
       "                                   engines (default per-solve)\n"
       "  --library tidy|sql               component library (default tidy)\n"
+      "  --simd off|auto                  vectorized kernels + batched\n"
+      "                                   candidate checks (default auto;\n"
+      "                                   results are identical either way)\n"
       "  --quiet                          print only the program\n"
       "\n"
       "bench options:\n"
@@ -97,7 +101,7 @@ int usage(const char *Msg = nullptr) {
       "  --config spec2|spec1|nodeduction paper configuration (default\n"
       "                                   spec2)\n"
       "  --strategy, --timeout, --threads,\n"
-      "  --sharing                        as above (default timeout 5000)\n"
+      "  --sharing, --simd                as above (default timeout 5000)\n"
       "  --limit N                        run only the first N tasks\n"
       "  --json PATH                      write a perf snapshot (per-task\n"
       "                                   solve times + candidate\n"
@@ -278,6 +282,17 @@ int engineArg(ArgReader &Args, const std::string &A, EngineOptions &Opts,
     LibraryName = V;
     return 0;
   }
+  if (A == "--simd") {
+    if (!Args.value(A, V))
+      return 2;
+    if (V == "off")
+      Opts.simd(SimdMode::Off);
+    else if (V == "auto")
+      Opts.simd(SimdMode::Auto);
+    else
+      return usage("unknown simd mode (use off or auto)");
+    return 0;
+  }
   return -1;
 }
 
@@ -370,6 +385,7 @@ JsonValue benchSnapshot(const std::string &SuiteName,
     T.set("category", JsonValue::string(R.Category));
     T.set("solved", JsonValue::boolean(R.Solved));
     T.set("seconds", JsonValue::number(R.Seconds));
+    T.set("program", JsonValue::string(R.ProgramSexp));
     T.set("candidates_checked",
           JsonValue::number(double(R.Stats.CandidatesChecked)));
     T.set("candidates_per_sec",
@@ -436,6 +452,7 @@ int runBench(ArgReader &Args) {
   unsigned Threads = 0;
   size_t Limit = SIZE_MAX;
   bool UseBus = false;
+  bool SimdOff = false;
 
   while (!Args.done()) {
     std::string A = Args.next();
@@ -480,6 +497,15 @@ int runBench(ArgReader &Args) {
         return 2;
       if (!parseRefutationSharing(V, Sharing))
         return usage("unknown sharing mode (use off, per-solve or process)");
+    } else if (A == "--simd") {
+      if (!Args.value(A, V))
+        return 2;
+      if (V == "off")
+        SimdOff = true;
+      else if (V == "auto")
+        SimdOff = false;
+      else
+        return usage("unknown simd mode (use off or auto)");
     } else if (A == "--limit") {
       if (!Args.value(A, V))
         return 2;
@@ -504,6 +530,10 @@ int runBench(ArgReader &Args) {
                             ? configNoDeduction(Timeout)
                             : configSpec2(Timeout);
   Cfg.Sharing = Sharing;
+  if (SimdOff) {
+    Cfg.UseBatchedCheck = false;
+    simd::forceSimdLevel(simd::SimdLevel::Scalar);
+  }
 
   std::vector<BenchmarkTask> Suite =
       SuiteName == "sql" ? sqlSuite() : morpheusSuite();
@@ -524,10 +554,12 @@ int runBench(ArgReader &Args) {
   }
 
   std::printf("suite %s (%zu tasks), config %s, strategy %s, timeout %d ms, "
-              "sharing %s\n",
+              "sharing %s, simd %s\n",
               SuiteName.c_str(), Suite.size(), ConfigName.c_str(),
               std::string(strategyName(Strat)).c_str(), TimeoutMs,
-              std::string(refutationSharingName(Sharing)).c_str());
+              std::string(refutationSharingName(Sharing)).c_str(),
+              std::string(simd::simdLevelName(simd::activeSimdLevel()))
+                  .c_str());
 
   std::vector<TaskResult> Results =
       Strat == Strategy::Portfolio
