@@ -143,6 +143,18 @@ public:
       simd::forceSimdLevel(simd::SimdLevel::Scalar);
     return *this;
   }
+  /// Directory for durable warm state (service/WarmState.h). When set, a
+  /// SynthService built over this engine restores its ResultCache and
+  /// refutation stores from `<dir>/results.mstate` /
+  /// `<dir>/refutations.mstate` at construction and checkpoints them in
+  /// the background, so a restarted process keeps its accumulated warm
+  /// state. The directory must exist. Empty (default) disables
+  /// persistence. Deliberately NOT part of SynthesisConfig: where state
+  /// lives on disk can never affect a problem's fingerprint or verdicts.
+  EngineOptions &stateDir(std::string Dir) {
+    StateDir = std::move(Dir);
+    return *this;
+  }
   /// Escape hatch: replaces the whole underlying SynthesisConfig (the
   /// strategy and thread count are kept). Lets suite code reuse the named
   /// paper configurations (configSpec2, ...) through the facade.
@@ -153,12 +165,14 @@ public:
   unsigned threads() const { return NumThreads; }
   RefutationSharing refutationSharing() const { return Cfg.Sharing; }
   const std::shared_ptr<EventBus> &eventBus() const { return Cfg.Bus; }
+  const std::string &stateDir() const { return StateDir; }
   const SynthesisConfig &config() const { return Cfg; }
 
 private:
   SynthesisConfig Cfg;
   Strategy Strat = Strategy::Sequential;
   unsigned NumThreads = 0;
+  std::string StateDir;
 };
 
 /// Result of Engine::solve: the synthesized program (null unless Solved),

@@ -72,9 +72,18 @@ enum class EventKind : uint8_t {
                       ///< D = ResultSource, Text = program sexp if solved
   JobTimeout,         ///< A = job id, B = fp, C = 1 queue-expiry / 0
                       ///< rider shed mid-solve (JobCompleted also fires)
+  // --- durable warm state (service/WarmState.h) ---
+  WarmStateLoaded,    ///< a state dir was restored at service start;
+                      ///< A = cache entries loaded, B = refutation keys
+                      ///< loaded, C = torn-tail records dropped, D = 1
+                      ///< when any file was rejected (version/compat)
+  CheckpointSaved,    ///< a background checkpoint published; A = cache
+                      ///< entries written, B = refutation keys written,
+                      ///< C = bytes written, D = 1 final (shutdown) / 0
+                      ///< periodic
 };
 
-constexpr unsigned NumEventKinds = unsigned(EventKind::JobTimeout) + 1;
+constexpr unsigned NumEventKinds = unsigned(EventKind::CheckpointSaved) + 1;
 
 /// Bit of \p K inside a subscription's kind mask.
 constexpr uint64_t eventKindBit(EventKind K) {

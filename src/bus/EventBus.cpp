@@ -41,6 +41,10 @@ std::string_view morpheus::eventKindName(EventKind K) {
     return "job-completed";
   case EventKind::JobTimeout:
     return "job-timeout";
+  case EventKind::WarmStateLoaded:
+    return "warm-state-loaded";
+  case EventKind::CheckpointSaved:
+    return "checkpoint-saved";
   }
   return "?";
 }

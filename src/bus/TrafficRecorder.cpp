@@ -38,9 +38,14 @@ bool parseU64(const JsonValue &V, uint64_t &Out) {
   }
   if (!V.isString() || V.Str.empty())
     return false;
+  // Base 16 only behind an explicit "0x"; everything else is decimal.
+  // Never base 0: strtoull would then read a leading-zero decimal like
+  // "010" as octal 8, silently corrupting a replayed fingerprint.
+  bool Hex = V.Str.size() > 2 && V.Str[0] == '0' &&
+             (V.Str[1] == 'x' || V.Str[1] == 'X');
   errno = 0;
   char *End = nullptr;
-  unsigned long long Parsed = std::strtoull(V.Str.c_str(), &End, 0);
+  unsigned long long Parsed = std::strtoull(V.Str.c_str(), &End, Hex ? 16 : 10);
   if (errno != 0 || End != V.Str.c_str() + V.Str.size())
     return false;
   Out = Parsed;

@@ -1,0 +1,340 @@
+//===- io/RecordLog.cpp - CRC-checked record file codec -------------------===//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/RecordLog.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace morpheus {
+
+//===----------------------------------------------------------------------===//
+// CRC32
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+const Crc32Table &crcTable() {
+  static const Crc32Table Tbl;
+  return Tbl;
+}
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed) {
+  const auto &T = crcTable().T;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (size_t I = 0; I < Len; ++I)
+    C = T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian scalar plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendU32(std::string &Buf, uint32_t V) {
+  char B[4];
+  for (int I = 0; I < 4; ++I)
+    B[I] = char((V >> (8 * I)) & 0xFF);
+  Buf.append(B, 4);
+}
+
+void appendU64(std::string &Buf, uint64_t V) {
+  char B[8];
+  for (int I = 0; I < 8; ++I)
+    B[I] = char((V >> (8 * I)) & 0xFF);
+  Buf.append(B, 8);
+}
+
+uint32_t loadU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= uint32_t(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+uint64_t loadU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= uint64_t(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+constexpr uint64_t FileMagic = 0x4D6F727068537430ULL; // "MorphSt0"
+constexpr size_t HeaderSize = 8 + 4 + 4 + 8 + 4 + 4;
+
+// The injected crash point shared by every RecordWriter in the process.
+// Negative = disabled. See setWriteFaultBudget().
+std::atomic<int64_t> WriteFaultBudget{-1};
+
+} // namespace
+
+void setWriteFaultBudget(int64_t Bytes) { WriteFaultBudget.store(Bytes); }
+
+//===----------------------------------------------------------------------===//
+// ByteWriter / ByteReader
+//===----------------------------------------------------------------------===//
+
+void ByteWriter::putU32(uint32_t V) { appendU32(Buf, V); }
+void ByteWriter::putU64(uint64_t V) { appendU64(Buf, V); }
+
+void ByteWriter::putF64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Bits);
+}
+
+void ByteWriter::putStr(std::string_view S) {
+  putU32(static_cast<uint32_t>(S.size()));
+  Buf.append(S.data(), S.size());
+}
+
+bool ByteReader::getU32(uint32_t &V) {
+  if (Data.size() - Pos < 4)
+    return false;
+  V = loadU32(Data.data() + Pos);
+  Pos += 4;
+  return true;
+}
+
+bool ByteReader::getU64(uint64_t &V) {
+  if (Data.size() - Pos < 8)
+    return false;
+  V = loadU64(Data.data() + Pos);
+  Pos += 8;
+  return true;
+}
+
+bool ByteReader::getF64(double &V) {
+  uint64_t Bits;
+  if (!getU64(Bits))
+    return false;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return true;
+}
+
+bool ByteReader::getStr(std::string &S) {
+  uint32_t Len;
+  if (!getU32(Len))
+    return false;
+  if (Data.size() - Pos < Len)
+    return false;
+  S.assign(Data.data() + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Publish
+//===----------------------------------------------------------------------===//
+
+bool publishFile(const std::string &TmpPath, const std::string &FinalPath,
+                 std::string *Err) {
+  if (std::rename(TmpPath.c_str(), FinalPath.c_str()) != 0) {
+    if (Err)
+      *Err = "rename " + TmpPath + " -> " + FinalPath + " failed";
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// RecordWriter
+//===----------------------------------------------------------------------===//
+
+bool RecordWriter::open(const std::string &Path, uint64_t CompatKey,
+                        std::string *Err) {
+  close();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot create " + Path;
+    return false;
+  }
+  Out = F;
+  Failed = false;
+  Written = 0;
+
+  std::string H;
+  H.reserve(HeaderSize);
+  appendU64(H, FileMagic);
+  appendU32(H, RecordLogFormatVersion);
+  appendU32(H, 0); // flags, reserved
+  appendU64(H, CompatKey);
+  appendU32(H, crc32(H.data(), H.size()));
+  appendU32(H, 0); // pad to 8-byte multiple
+  if (!writeRaw(H.data(), H.size())) {
+    if (Err)
+      *Err = "header write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool RecordWriter::writeRaw(const void *Data, size_t Len) {
+  if (!Out || Failed)
+    return false;
+  size_t Allowed = Len;
+  int64_t Budget = WriteFaultBudget.load();
+  if (Budget >= 0) {
+    // Simulated crash: write exactly the bytes the budget still covers,
+    // then fail every later write (the file ends mid-record on disk).
+    Allowed = static_cast<size_t>(Budget) < Len ? size_t(Budget) : Len;
+    WriteFaultBudget.store(Budget - int64_t(Allowed));
+  }
+  size_t Put = Allowed == 0
+                   ? 0
+                   : std::fwrite(Data, 1, Allowed, static_cast<std::FILE *>(Out));
+  Written += Put;
+  if (Put != Len) {
+    Failed = true;
+    std::fflush(static_cast<std::FILE *>(Out));
+    return false;
+  }
+  return true;
+}
+
+bool RecordWriter::append(std::string_view Payload) {
+  std::string Frame;
+  Frame.reserve(8 + Payload.size());
+  appendU32(Frame, static_cast<uint32_t>(Payload.size()));
+  appendU32(Frame, crc32(Payload.data(), Payload.size()));
+  Frame.append(Payload.data(), Payload.size());
+  return writeRaw(Frame.data(), Frame.size());
+}
+
+bool RecordWriter::close() {
+  if (!Out)
+    return !Failed;
+  std::FILE *F = static_cast<std::FILE *>(Out);
+  bool Ok = !Failed;
+  if (Ok && std::fflush(F) != 0)
+    Ok = false;
+  if (std::fclose(F) != 0)
+    Ok = false;
+  Out = nullptr;
+  Failed = !Ok;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// RecordReader
+//===----------------------------------------------------------------------===//
+
+RecordReader::~RecordReader() {
+  if (In)
+    std::fclose(static_cast<std::FILE *>(In));
+}
+
+RecordLogStatus RecordReader::open(const std::string &Path,
+                                   uint64_t CompatKey) {
+  if (In) {
+    std::fclose(static_cast<std::FILE *>(In));
+    In = nullptr;
+  }
+  Torn = false;
+  Done = false;
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return RecordLogStatus::Missing;
+
+  char H[HeaderSize];
+  if (std::fread(H, 1, HeaderSize, F) != HeaderSize) {
+    std::fclose(F);
+    return RecordLogStatus::BadHeader;
+  }
+  // The CRC covers magic..compat key; pad is outside it.
+  uint32_t WantCrc = loadU32(H + 24);
+  if (loadU64(H) != FileMagic || crc32(H, 24) != WantCrc) {
+    std::fclose(F);
+    return RecordLogStatus::BadHeader;
+  }
+  if (loadU32(H + 8) != RecordLogFormatVersion) {
+    std::fclose(F);
+    return RecordLogStatus::VersionMismatch;
+  }
+  if (loadU64(H + 16) != CompatKey) {
+    std::fclose(F);
+    return RecordLogStatus::CompatMismatch;
+  }
+  In = F;
+  return RecordLogStatus::Ok;
+}
+
+bool RecordReader::next(std::string &Payload) {
+  if (!In || Done)
+    return false;
+  std::FILE *F = static_cast<std::FILE *>(In);
+
+  char Frame[8];
+  size_t Got = std::fread(Frame, 1, 8, F);
+  if (Got == 0 && std::feof(F)) {
+    Done = true; // clean EOF on a record boundary
+    return false;
+  }
+  if (Got != 8) {
+    Done = Torn = true; // length/CRC prefix cut short
+    return false;
+  }
+  uint32_t Len = loadU32(Frame);
+  uint32_t WantCrc = loadU32(Frame + 4);
+
+  // A length past EOF reads short below; an absurd length (corrupt bytes
+  // interpreted as a multi-GB record) must not trigger a giant allocation.
+  constexpr uint32_t MaxRecordBytes = 1u << 30;
+  if (Len > MaxRecordBytes) {
+    Done = Torn = true;
+    return false;
+  }
+  Payload.resize(Len);
+  if (Len > 0 && std::fread(&Payload[0], 1, Len, F) != Len) {
+    Done = Torn = true; // payload cut short
+    return false;
+  }
+  if (crc32(Payload.data(), Payload.size()) != WantCrc) {
+    Done = Torn = true; // bit rot or a torn rewrite
+    return false;
+  }
+  return true;
+}
+
+std::string_view recordLogStatusName(RecordLogStatus S) {
+  switch (S) {
+  case RecordLogStatus::Ok:
+    return "ok";
+  case RecordLogStatus::Missing:
+    return "missing";
+  case RecordLogStatus::BadHeader:
+    return "bad-header";
+  case RecordLogStatus::VersionMismatch:
+    return "version-mismatch";
+  case RecordLogStatus::CompatMismatch:
+    return "compat-mismatch";
+  }
+  return "unknown";
+}
+
+} // namespace morpheus

@@ -1,0 +1,201 @@
+//===- io/RecordLog.h - CRC-checked record file codec -----------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk codec under the durable warm state (service/WarmState.h): an
+/// append-only sequence of length-prefixed, CRC32-guarded records behind a
+/// versioned file header. The format is deliberately dumb — no btree, no
+/// compaction — because the stores it persists are caches rebuilt by
+/// checkpoint snapshots, not mutated in place.
+///
+/// File layout (all integers little-endian):
+///
+///   header  MAGIC(8) | FORMAT_VERSION(4) | flags(4) | compat key(8) |
+///           header CRC32(4) | pad(4)
+///   record  payload length(4) | payload CRC32(4) | payload bytes
+///   ...
+///
+/// Recovery contract (what makes a crashed writer safe to reopen):
+///  - a file whose header is missing, malformed, from another format
+///    version, or carrying a different compat key loads as EMPTY — never
+///    partially. The compat key is the caller's hash of everything that
+///    could make stale records unsound to reuse (component library, spec
+///    level, engine knobs; see warmStateCompatKey);
+///  - a torn tail — the last record's length field, payload or CRC cut
+///    short by a crash, or a payload whose CRC mismatches — ends the read
+///    at the last intact record. Everything before it is a consistent
+///    prefix (records are self-delimiting and individually checksummed);
+///    everything from the first damaged byte on is dropped and counted;
+///  - writers never publish a torn file on the normal path: checkpoints
+///    write to `<path>.tmp` and atomically rename onto `<path>`
+///    (publishFile), so readers see the old complete file or the new
+///    complete file, nothing in between. The torn-tail tolerance is the
+///    backstop for crashes inside a direct (non-tmp) append and for
+///    filesystems that reorder the rename.
+///
+/// Fault injection (tests only): setWriteFaultBudget(N) makes every
+/// RecordWriter in the process silently stop writing after N more payload
+/// bytes reach the OS — the file ends mid-record exactly as it would if
+/// the process had been killed there. PersistenceTest uses it to prove the
+/// reopen path on systematically torn files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_IO_RECORDLOG_H
+#define MORPHEUS_IO_RECORDLOG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/// IEEE CRC32 (the zlib polynomial), table-driven. \p Seed chains calls.
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+/// Atomically replaces \p FinalPath with \p TmpPath (rename(2) semantics:
+/// readers see the old file or the new file, never a mix). False with
+/// \p Err set when the rename fails; \p TmpPath is removed on failure.
+bool publishFile(const std::string &TmpPath, const std::string &FinalPath,
+                 std::string *Err = nullptr);
+
+/// Test hook: after \p Bytes more bytes are handed to the OS by any
+/// RecordWriter, every later write is silently dropped (the simulated
+/// crash point). Negative disables (the default). Not thread-safe with
+/// concurrent writers — tests only.
+void setWriteFaultBudget(int64_t Bytes);
+
+//===----------------------------------------------------------------------===//
+// Payload encoding helpers
+//===----------------------------------------------------------------------===//
+
+/// Builds one record payload: fixed-width little-endian scalars + length-
+/// prefixed strings appended to an owned buffer.
+class ByteWriter {
+public:
+  void putU32(uint32_t V);
+  void putU64(uint64_t V);
+  void putF64(double V); ///< IEEE-754 bits via putU64
+  void putStr(std::string_view S); ///< u32 length + bytes
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Reads a record payload back. Every getter returns false once the
+/// payload is exhausted or a length runs past the end — a malformed
+/// payload can never read out of bounds or throw.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  bool getU32(uint32_t &V);
+  bool getU64(uint64_t &V);
+  bool getF64(double &V);
+  bool getStr(std::string &S);
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+/// Appends records to a fresh file (the path is truncated on open).
+/// Checkpoint writers point this at `<final>.tmp` and publishFile() on
+/// success; a writer that failed mid-stream must NOT be published.
+class RecordWriter {
+public:
+  RecordWriter() = default;
+  ~RecordWriter() { close(); }
+  RecordWriter(const RecordWriter &) = delete;
+  RecordWriter &operator=(const RecordWriter &) = delete;
+
+  /// Creates/truncates \p Path and writes the header. False (with \p Err)
+  /// when the file cannot be created.
+  bool open(const std::string &Path, uint64_t CompatKey,
+            std::string *Err = nullptr);
+
+  /// Appends one record. Returns false once the stream has failed (disk
+  /// full, injected fault); the caller should abandon the file.
+  bool append(std::string_view Payload);
+
+  /// Flushes and closes. False when any write (including this flush)
+  /// failed — the file on disk is then incomplete and must not be
+  /// published.
+  bool close();
+
+  bool ok() const { return Out != nullptr && !Failed; }
+  uint64_t bytesWritten() const { return Written; }
+
+private:
+  bool writeRaw(const void *Data, size_t Len);
+
+  void *Out = nullptr; ///< FILE*, type-erased to keep <cstdio> out of here
+  bool Failed = false;
+  uint64_t Written = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+/// Why a RecordReader::open found no records to read (or stopped early).
+enum class RecordLogStatus {
+  Ok,             ///< header valid, records readable
+  Missing,        ///< no file at the path (a cold start, not an error)
+  BadHeader,      ///< too short / wrong magic / header CRC mismatch
+  VersionMismatch,///< a different format version wrote this file
+  CompatMismatch, ///< valid file, but for a different library/spec/knobs
+};
+
+/// Printable name of \p S ("ok", "missing", ...).
+std::string_view recordLogStatusName(RecordLogStatus S);
+
+/// Streams records out of one file. Any damage — truncated length,
+/// truncated payload, CRC mismatch — ends the stream at the previous
+/// record (tornTail() reports that it happened); the prefix handed out is
+/// always a sequence of records exactly as written.
+class RecordReader {
+public:
+  RecordReader() = default;
+  ~RecordReader();
+  RecordReader(const RecordReader &) = delete;
+  RecordReader &operator=(const RecordReader &) = delete;
+
+  /// Opens \p Path and validates the header against \p CompatKey. Records
+  /// are only readable when the result is Ok; every other status means
+  /// "load empty" (and MUST: a CompatMismatch file may contain facts that
+  /// are unsound under the current configuration).
+  RecordLogStatus open(const std::string &Path, uint64_t CompatKey);
+
+  /// Reads the next record into \p Payload. False at end of file or at a
+  /// torn tail (check tornTail() to distinguish).
+  bool next(std::string &Payload);
+
+  /// True when the stream ended because of damage rather than a clean EOF.
+  bool tornTail() const { return Torn; }
+
+private:
+  void *In = nullptr; ///< FILE*
+  bool Torn = false;
+  bool Done = false;
+};
+
+/// The codec's format version; bumped on any layout change so old files
+/// load empty instead of misparsing.
+constexpr uint32_t RecordLogFormatVersion = 1;
+
+} // namespace morpheus
+
+#endif // MORPHEUS_IO_RECORDLOG_H

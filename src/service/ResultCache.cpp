@@ -88,3 +88,23 @@ CacheStats ResultCache::stats() const {
   MutexLock Lock(M);
   return Counters;
 }
+
+std::vector<std::pair<uint64_t, Solution>> ResultCache::snapshot() const {
+  MutexLock Lock(M);
+  std::vector<std::pair<uint64_t, Solution>> Out;
+  Out.reserve(Lru.size());
+  for (const auto &Entry : Lru)
+    Out.push_back(Entry);
+  return Out;
+}
+
+void ResultCache::restore(uint64_t Key, Solution S) {
+  MutexLock Lock(M);
+  if (Capacity == 0 || Lru.size() >= Capacity)
+    return;
+  if (Index.count(Key))
+    return;
+  Lru.emplace_back(Key, std::move(S));
+  Index.emplace(Key, std::prev(Lru.end()));
+  ++Counters.WarmLoaded;
+}

@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace morpheus {
 
@@ -42,6 +44,7 @@ struct CacheStats {
   uint64_t Insertions = 0;
   uint64_t Evictions = 0; ///< entries dropped by the LRU bound
   uint64_t Coalesced = 0; ///< submissions attached to an in-flight solve
+  uint64_t WarmLoaded = 0; ///< entries restored from a persisted state dir
 };
 
 /// Fingerprint -> Solution LRU map. All operations lock one internal
@@ -91,6 +94,18 @@ public:
   size_t size() const;
   size_t capacity() const { return Capacity; }
   CacheStats stats() const;
+
+  /// A consistent copy of the cache contents, MRU first — what a
+  /// checkpoint persists. Writing the snapshot in this order means a
+  /// restore into a smaller cache keeps the hottest entries.
+  std::vector<std::pair<uint64_t, Solution>> snapshot() const;
+
+  /// Re-inserts a persisted entry at the LRU end (warm entries must not
+  /// outrank traffic the process has actually seen). Counts WarmLoaded
+  /// rather than Insertions, leaving the traffic counters untouched;
+  /// drops the entry when the key is already present or the cache is
+  /// full (live state always wins over persisted state).
+  void restore(uint64_t Key, Solution S);
 
 private:
   /// MRU-first list of (key, solution); the map points into it.

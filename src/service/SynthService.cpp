@@ -170,6 +170,14 @@ std::optional<std::chrono::steady_clock::time_point> SynthService::neededDeadlin
 SynthService::SynthService(Engine Eng, ServiceOptions Opts)
     : Eng(std::move(Eng)), Opts(Opts),
       Bus(this->Eng.options().config().Bus.get()), Cache(Opts.cacheCapacity()) {
+  // Restore before any worker exists: the warm stores must be fully
+  // populated before the first submission can probe them.
+  if (!this->Eng.options().stateDir().empty()) {
+    Warm = std::make_unique<WarmState>(
+        this->Eng.options().stateDir(),
+        warmStateCompatKey(this->Eng.library(), this->Eng.options().config()));
+    loadWarmState();
+  }
   unsigned N = this->Opts.workers();
   if (N == 0) {
     N = std::thread::hardware_concurrency();
@@ -180,6 +188,8 @@ SynthService::SynthService(Engine Eng, ServiceOptions Opts)
   for (unsigned I = 0; I != N; ++I)
     Pool.emplace_back([this] { workerLoop(); });
   Reaper = std::thread([this] { reaperLoop(); });
+  if (Warm && this->Opts.checkpointInterval().count() > 0)
+    Checkpointer = std::thread([this] { checkpointLoop(); });
 }
 
 SynthService::~SynthService() {
@@ -205,9 +215,16 @@ SynthService::~SynthService() {
   WorkAvailable.notify_all();
   SpaceAvailable.notify_all();
   DeadlineChanged.notify_all();
+  CheckpointWake.notify_all();
   for (std::thread &T : Pool)
     T.join();
   Reaper.join();
+  if (Checkpointer.joinable())
+    Checkpointer.join();
+  // Final checkpoint after every thread is gone: it captures the true
+  // final state, and nothing can mutate the stores underneath it.
+  if (Warm)
+    checkpointNow(/*Final=*/true);
 }
 
 JobHandle SynthService::submit(Problem P, JobRequest R) {
@@ -477,6 +494,100 @@ void SynthService::workerLoop() {
   }
 }
 
+void SynthService::loadWarmState() {
+  Warm->loadResults(Cache, Eng.library());
+  const SynthesisConfig &Cfg = Eng.options().config();
+  if (Cfg.UseDeduction && Cfg.Sharing != RefutationSharing::Off) {
+    // Pre-populate the same scope map refutationScopeFor consults, bounded
+    // by the same cap so a preloaded scope is never the one that triggers
+    // the epoch flush.
+    size_t Cap = std::max<size_t>(Opts.cacheCapacity(), 64);
+    bool ProcessWide = Cfg.Sharing == RefutationSharing::ProcessWide;
+    Warm->loadRefutations([&](uint64_t Fp, std::vector<uint64_t> &&Keys) {
+      MutexLock Lock(M);
+      std::shared_ptr<RefutationStore> Store;
+      auto It = RefScopes.find(Fp);
+      if (It != RefScopes.end()) {
+        Store = It->second; // a later chunk of an already-loaded scope
+      } else {
+        if (RefScopes.size() >= Cap)
+          return false; // scope budget spent; keep what we have
+        Store = ProcessWide ? RefutationStore::forExample(Fp)
+                            : std::make_shared<RefutationStore>();
+        RefScopes.emplace(Fp, Store);
+      }
+      Store->restoreKeys(Keys);
+      return true;
+    });
+  }
+  if (Bus && Bus->wants(EventKind::WarmStateLoaded)) {
+    WarmStateStats W = Warm->stats();
+    Bus->publish(Event(EventKind::WarmStateLoaded, 0, W.ResultsLoaded,
+                       W.RefutationKeysLoaded, W.TornTails,
+                       W.FilesRejected ? 1 : 0));
+  }
+}
+
+uint64_t SynthService::warmActivitySignal() {
+  CacheStats CS = Cache.stats();
+  uint64_t Sig = CS.Insertions + CS.WarmLoaded;
+  MutexLock Lock(M);
+  Sig += RefScopes.size(); // a new empty scope alone is worth persisting
+  for (const auto &KV : RefScopes) {
+    RefutationStore::Stats SS = KV.second->stats();
+    Sig += SS.Inserts + SS.Restored;
+  }
+  return Sig;
+}
+
+void SynthService::checkpointLoop() {
+  UniqueLock Lock(M);
+  for (;;) {
+    CheckpointWake.wait_for(Lock, Opts.checkpointInterval(),
+                            [&]() NO_THREAD_SAFETY_ANALYSIS {
+                              return ShuttingDown;
+                            });
+    if (ShuttingDown)
+      return; // the destructor runs the final checkpoint itself
+    Lock.unlock();
+    if (warmActivitySignal() != LastCheckpointSignal)
+      checkpointNow(/*Final=*/false);
+    Lock.lock();
+  }
+}
+
+void SynthService::checkpointNow(bool Final) {
+  // The signal is read before the snapshots: activity landing between the
+  // two is re-captured by the next interval's signal comparison.
+  uint64_t Signal = warmActivitySignal();
+  std::vector<std::pair<uint64_t, Solution>> Results = Cache.snapshot();
+  std::vector<std::pair<uint64_t, std::shared_ptr<RefutationStore>>> Stores;
+  {
+    MutexLock Lock(M);
+    Stores.reserve(RefScopes.size());
+    for (const auto &KV : RefScopes)
+      Stores.push_back(KV);
+  }
+  // Deterministic file layout: scopes sorted by fingerprint (keys() is
+  // already sorted), so identical state checkpoints byte-identically.
+  std::sort(Stores.begin(), Stores.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> Scopes;
+  Scopes.reserve(Stores.size());
+  uint64_t TotalKeys = 0;
+  for (const auto &KV : Stores) {
+    Scopes.emplace_back(KV.first, KV.second->keys());
+    TotalKeys += Scopes.back().second.size();
+  }
+  if (Warm->checkpoint(Results, Scopes)) {
+    LastCheckpointSignal = Signal;
+    if (Bus && Bus->wants(EventKind::CheckpointSaved))
+      Bus->publish(Event(EventKind::CheckpointSaved, 0, Results.size(),
+                         TotalKeys, Warm->stats().LastCheckpointBytes,
+                         Final ? 1 : 0));
+  }
+}
+
 std::shared_ptr<RefutationStore>
 SynthService::refutationScopeFor(const Problem &Prob) {
   const SynthesisConfig &Cfg = Eng.options().config();
@@ -693,6 +804,8 @@ ServiceStats SynthService::stats() const {
   MutexLock Lock(M);
   ServiceStats S = Counters;
   S.Cache = Cache.stats();
+  if (Warm)
+    S.Warm = Warm->stats();
   S.RefutationScopes = RefScopes.size();
   S.QueueDepth = Queue.size();
   return S;

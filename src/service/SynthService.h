@@ -54,10 +54,12 @@
 
 #include "api/Engine.h"
 #include "service/ResultCache.h"
+#include "service/WarmState.h"
 #include "support/Sync.h"
 
 #include <atomic>
 #include <deque>
+#include <memory>
 #include <thread>
 
 namespace morpheus {
@@ -126,21 +128,36 @@ public:
   /// ResultCache entries; 0 disables result caching (single-flight
   /// coalescing still applies).
   ServiceOptions &cacheCapacity(size_t N) { CacheCap = N; return *this; }
+  /// How often the background checkpointer persists the warm stores when
+  /// the engine has a state dir (EngineOptions::stateDir). Only fires
+  /// when something changed since the last checkpoint; a final
+  /// checkpoint always runs at service destruction regardless. Zero
+  /// disables the periodic thread (shutdown checkpoint still runs).
+  ServiceOptions &checkpointInterval(std::chrono::milliseconds I) {
+    CheckpointEvery = I;
+    return *this;
+  }
 
   unsigned workers() const { return NumWorkers; }
   size_t queueCapacity() const { return QueueCap; }
   size_t cacheCapacity() const { return CacheCap; }
+  std::chrono::milliseconds checkpointInterval() const {
+    return CheckpointEvery;
+  }
 
 private:
   unsigned NumWorkers = 0;
   size_t QueueCap = 256;
   size_t CacheCap = 512;
+  std::chrono::milliseconds CheckpointEvery{30000};
 };
 
 /// Aggregate service counters (monotonic since construction) plus a
 /// point-in-time queue snapshot.
 struct ServiceStats {
   CacheStats Cache;
+  /// Persistence counters; all zero when no state dir is configured.
+  WarmStateStats Warm;
   size_t RefutationScopes = 0;  ///< example-scoped refutation stores held
   uint64_t Submitted = 0;       ///< submit + trySubmit accepted
   uint64_t Rejected = 0;        ///< trySubmit refused: queue full
@@ -248,6 +265,20 @@ private:
   /// example derived. Null when the engine's sharing mode is Off.
   std::shared_ptr<RefutationStore> refutationScopeFor(const Problem &Prob)
       REQUIRES(M);
+  /// Restores the warm stores from the engine's state dir (constructor
+  /// only, before any worker exists — no locks needed) and publishes the
+  /// WarmStateLoaded event.
+  void loadWarmState();
+  /// Periodic persistence (ServiceOptions::checkpointInterval); exits at
+  /// shutdown — the destructor runs the final checkpoint itself, after
+  /// the pool has drained, so it captures the true final state.
+  void checkpointLoop();
+  /// Snapshots both stores and writes one checkpoint. \p Final marks the
+  /// shutdown checkpoint in the CheckpointSaved event.
+  void checkpointNow(bool Final) EXCLUDES(M);
+  /// Cheap change signal: cache insertions + per-scope store inserts. The
+  /// periodic checkpointer skips when it hasn't moved.
+  uint64_t warmActivitySignal() EXCLUDES(M);
   void cancelJob(const std::shared_ptr<JobHandle::JobState> &State)
       EXCLUDES(M);
   /// Completes \p State (the per-job lock is taken inside: lock order is
@@ -266,11 +297,14 @@ private:
   /// order. Atomic so ids are assigned before the service lock is taken.
   std::atomic<uint64_t> NextJobId{1};
   ResultCache Cache;
+  /// The persistence tier; null when the engine has no state dir.
+  std::unique_ptr<WarmState> Warm;
 
   mutable Mutex M;
   CondVar WorkAvailable;   ///< workers wait here
   CondVar SpaceAvailable;  ///< blocking submit + drain wait here
   CondVar DeadlineChanged; ///< wakes the reaper
+  CondVar CheckpointWake;  ///< wakes the checkpointer (shutdown)
   /// Example-fingerprint-scoped refutation stores (see refutationScopeFor);
   /// bounded by epoch flush (in-flight solves keep their shared_ptrs, so a
   /// flush only forgets facts, it never breaks them).
@@ -292,8 +326,13 @@ private:
   /// Cache/QueueDepth fields filled by stats().
   ServiceStats Counters GUARDED_BY(M);
 
+  /// Activity signal at the last published checkpoint (checkpointer
+  /// thread + destructor only, which never run concurrently).
+  uint64_t LastCheckpointSignal = 0;
+
   std::vector<std::thread> Pool;
   std::thread Reaper;
+  std::thread Checkpointer; ///< only spawned when Warm is set
 };
 
 } // namespace morpheus

@@ -6,6 +6,7 @@
 
 #include "smt/RefutationStore.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 using namespace morpheus;
@@ -65,8 +66,34 @@ RefutationStore::Stats RefutationStore::stats() const {
   Out.Hits = Hits.load(std::memory_order_relaxed);
   Out.Misses = Misses.load(std::memory_order_relaxed);
   Out.Inserts = Inserts.load(std::memory_order_relaxed);
+  Out.Restored = Restored.load(std::memory_order_relaxed);
   Out.Entries = size();
   return Out;
+}
+
+std::vector<uint64_t> RefutationStore::keys() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(size());
+  for (const Shard &S : Shards) {
+    MutexLock Lock(S.M);
+    Out.insert(Out.end(), S.Keys.begin(), S.Keys.end());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+size_t RefutationStore::restoreKeys(const std::vector<uint64_t> &Keys) {
+  size_t Stored = 0;
+  for (uint64_t Key : Keys) {
+    Shard &S = shardFor(Key);
+    MutexLock Lock(S.M);
+    if (S.Keys.size() >= MaxEntries / NumShards)
+      continue;
+    if (S.Keys.insert(Key).second)
+      ++Stored;
+  }
+  Restored.fetch_add(Stored, std::memory_order_relaxed);
+  return Stored;
 }
 
 size_t RefutationStore::size() const {
@@ -89,6 +116,21 @@ RefutationStore::forExample(uint64_t ExampleFp) {
     R.Stores.clear(); // epoch flush; live engines keep their shared_ptrs
   return R.Stores.emplace(ExampleFp, std::make_shared<RefutationStore>())
       .first->second;
+}
+
+std::vector<std::pair<uint64_t, std::shared_ptr<RefutationStore>>>
+RefutationStore::processScopeSnapshot() {
+  ProcessRegistry &R = processRegistry();
+  std::vector<std::pair<uint64_t, std::shared_ptr<RefutationStore>>> Out;
+  {
+    MutexLock Lock(R.M);
+    Out.reserve(R.Stores.size());
+    for (const auto &KV : R.Stores)
+      Out.push_back(KV);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
 }
 
 size_t RefutationStore::processScopeCount() {

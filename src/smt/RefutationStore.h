@@ -42,6 +42,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace morpheus {
 
@@ -63,13 +65,24 @@ public:
 
   /// Monotonic counters since construction.
   struct Stats {
-    uint64_t Hits = 0;    ///< isRefuted() returned true
-    uint64_t Misses = 0;  ///< isRefuted() returned false
-    uint64_t Inserts = 0; ///< recordRefuted() stored a new key
-    uint64_t Entries = 0; ///< keys currently stored
+    uint64_t Hits = 0;     ///< isRefuted() returned true
+    uint64_t Misses = 0;   ///< isRefuted() returned false
+    uint64_t Inserts = 0;  ///< recordRefuted() stored a new key
+    uint64_t Restored = 0; ///< keys loaded from a persisted state dir
+    uint64_t Entries = 0;  ///< keys currently stored
   };
   Stats stats() const;
   size_t size() const;
+
+  /// A sorted copy of every stored key — what a checkpoint persists.
+  /// Sorted so checkpoints of identical state are byte-identical files.
+  std::vector<uint64_t> keys() const;
+
+  /// Bulk-inserts persisted keys, counting Restored (not Inserts) so the
+  /// traffic counters still describe only this process's deductions.
+  /// Respects the capacity cap like recordRefuted. Returns the number of
+  /// keys actually stored.
+  size_t restoreKeys(const std::vector<uint64_t> &Keys);
 
   /// The process-wide store for the example fingerprinted \p ExampleFp
   /// (spec/Abstraction.h exampleFingerprint), created on first use. The
@@ -79,6 +92,12 @@ public:
 
   /// Number of examples currently in the process-wide registry.
   static size_t processScopeCount();
+
+  /// A copy of the process-wide registry: (example fingerprint, store)
+  /// pairs, sorted by fingerprint. Checkpoints walk this to persist the
+  /// ProcessWide sharing scope.
+  static std::vector<std::pair<uint64_t, std::shared_ptr<RefutationStore>>>
+  processScopeSnapshot();
 
   /// Empties the process-wide registry (benchmarks establishing a cold
   /// baseline; tests isolating runs).
@@ -94,7 +113,7 @@ private:
   };
   Shard Shards[NumShards];
   size_t MaxEntries;
-  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0};
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0}, Restored{0};
 
   Shard &shardFor(uint64_t Key) const {
     // The low bits index buckets inside the set; take high bits here so

@@ -22,6 +22,7 @@
 
 #include "io/ProgramIO.h"
 #include "suite/Runner.h"
+#include "TestBudget.h"
 
 #include <gtest/gtest.h>
 
@@ -29,10 +30,10 @@ using namespace morpheus;
 
 namespace {
 
-constexpr int TimeoutMs = 1500;
+const int TimeoutMs = int(test_budget::scaledBudget(1500).count());
 /// "Comfortable": solved using at most half the budget — far enough from
 /// the wall-clock boundary that a rerun cannot plausibly time out.
-constexpr double ComfortableSeconds = 0.5 * TimeoutMs / 1000.0;
+const double ComfortableSeconds = 0.5 * TimeoutMs / 1000.0;
 
 struct ArmRow {
   bool Solved = false;

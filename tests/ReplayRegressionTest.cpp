@@ -220,6 +220,54 @@ TEST(ReplayRegression, RecordSerializationRoundTrips) {
   EXPECT_EQ(Back->Prob->OrderedCompare, R.Prob->OrderedCompare);
 }
 
+/// Regression: u64 fields arrive as strings, and the parser once used
+/// strtoull(..., 0), which reads a leading-zero decimal like "010" as
+/// OCTAL 8 — silently corrupting a replayed timestamp or fingerprint.
+/// Only an explicit "0x" prefix may select base 16; everything else is
+/// decimal.
+TEST(ReplayRegression, LeadingZeroU64FieldsParseAsDecimal) {
+  TrafficRecord R;
+  R.Job = 1;
+  R.Fp = 42;
+  R.ExFp = 7;
+  R.ArrivalNs = 86420135; // unique sentinel, patched below
+  R.CompletedNs = 20;
+  R.DeadlineMs = 0;
+  R.Outcome = "solved";
+  R.Source = "solve";
+  R.Prob = std::make_shared<const Problem>(fastProblem(5));
+  std::string Line = trafficRecordToLine(R);
+
+  auto patched = [&](const std::string &Replacement) {
+    std::string Out = Line;
+    size_t At = Out.find("\"86420135\"");
+    EXPECT_NE(At, std::string::npos);
+    Out.replace(At, std::string("\"86420135\"").size(), Replacement);
+    return Out;
+  };
+
+  std::string Err;
+  // "010" is decimal ten, not octal eight.
+  std::optional<TrafficRecord> Back = parseTrafficRecord(patched("\"010\""), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->ArrivalNs, 10u);
+
+  // "08" is decimal eight (base 0 would have rejected the '8' digit).
+  Back = parseTrafficRecord(patched("\"08\""), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->ArrivalNs, 8u);
+
+  // Explicit 0x still selects hex.
+  Back = parseTrafficRecord(patched("\"0x1f\""), &Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->ArrivalNs, 31u);
+
+  // Bare hex digits without the prefix are malformed, not silently hex.
+  EXPECT_FALSE(parseTrafficRecord(patched("\"1f\""), &Err));
+  // So is a prefix with no digits behind it.
+  EXPECT_FALSE(parseTrafficRecord(patched("\"0x\""), &Err));
+}
+
 TEST(ReplayRegression, MissingLogFileReportsError) {
   std::string Err;
   EXPECT_FALSE(readTrafficLog("/nonexistent/morpheus_traffic.jsonl", &Err));

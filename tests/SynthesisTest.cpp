@@ -18,6 +18,7 @@
 #include "suite/Runner.h"
 #include "synth/Inhabitation.h"
 #include "synth/Synthesizer.h"
+#include "TestBudget.h"
 
 #include <gtest/gtest.h>
 #include <set>
@@ -209,7 +210,7 @@ TEST_P(CategoryIntegration, SynthesizesRepresentative) {
   }
   ASSERT_NE(Pick, nullptr);
   TaskResult R =
-      runTask(*Pick, configSpec2(std::chrono::milliseconds(45000)));
+      runTask(*Pick, configSpec2(test_budget::scaledBudget(45000)));
   EXPECT_TRUE(R.Solved) << Pick->Id << " not solved in 45s";
 }
 
@@ -222,7 +223,7 @@ INSTANTIATE_TEST_SUITE_P(Categories, CategoryIntegration,
 TEST(Configs, NoDeductionSolvesEasyTask) {
   const BenchmarkTask &T = morpheusSuite().front(); // C1-01, one spread
   TaskResult R =
-      runTask(T, configNoDeduction(std::chrono::milliseconds(20000)));
+      runTask(T, configNoDeduction(test_budget::scaledBudget(20000)));
   EXPECT_TRUE(R.Solved);
   EXPECT_EQ(R.Stats.Deduce.Calls, 0u);
 }
@@ -235,12 +236,12 @@ TEST(Configs, Spec2PrunesAtLeastAsMuchAsSpec1) {
     if (B.Id == "C2-02")
       T = &B;
   ASSERT_NE(T, nullptr);
-  TaskResult R2 = runTask(*T, configSpec2(std::chrono::milliseconds(30000)));
+  TaskResult R2 = runTask(*T, configSpec2(test_budget::scaledBudget(30000)));
   EXPECT_TRUE(R2.Solved);
   // Spec 1 is an under-constraining of Spec 2; with a generous budget it
   // solves the task too, but the time-fair scheduler makes its running
   // time noisy on one core, so only Spec 2 is asserted here.
-  TaskResult R1 = runTask(*T, configSpec1(std::chrono::milliseconds(30000)));
+  TaskResult R1 = runTask(*T, configSpec1(test_budget::scaledBudget(30000)));
   (void)R1;
 }
 

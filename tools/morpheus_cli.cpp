@@ -45,6 +45,8 @@
 #include "support/Simd.h"
 #include "support/Sync.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -54,6 +56,7 @@
 #include <fstream>
 #include <thread>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -110,6 +113,10 @@ int usage(const char *Msg = nullptr) {
       "                                   cross-check event-derived stats\n"
       "                                   against the in-band counters\n"
       "                                   (exit 1 on divergence)\n"
+      "  --state-dir DIR                  run the suite through a service\n"
+      "                                   with durable warm state in DIR\n"
+      "                                   (created if missing); a second\n"
+      "                                   run restarts warm\n"
       "\n"
       "serve options:\n"
       "  --workers N                      worker pool size (default:\n"
@@ -119,6 +126,10 @@ int usage(const char *Msg = nullptr) {
       "                                   0 disables)\n"
       "  --record PATH                    write a replayable traffic log\n"
       "                                   (JSON-lines, one line per job)\n"
+      "  --state-dir DIR                  persist the result cache and\n"
+      "                                   refutation stores in DIR (created\n"
+      "                                   if missing) and restore them at\n"
+      "                                   startup\n"
       "  --strategy, --timeout, --threads, --spec, --no-deduction,\n"
       "  --sharing, --library             as for solve\n"
       "\n"
@@ -191,6 +202,15 @@ struct ArgReader {
     return true;
   }
 };
+
+/// Creates \p Path as a directory when missing; true when it exists (or
+/// was created) as a directory afterwards.
+bool ensureDir(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0)
+    return S_ISDIR(St.st_mode);
+  return ::mkdir(Path.c_str(), 0777) == 0;
+}
 
 std::optional<int> parseIntArg(const std::string &S) {
   char *End = nullptr;
@@ -445,7 +465,7 @@ JsonValue benchSnapshot(const std::string &SuiteName,
 }
 
 int runBench(ArgReader &Args) {
-  std::string SuiteName = "morpheus", ConfigName = "spec2", JsonPath;
+  std::string SuiteName = "morpheus", ConfigName = "spec2", JsonPath, StateDir;
   Strategy Strat = Strategy::Sequential;
   RefutationSharing Sharing = RefutationSharing::PerSolve;
   int TimeoutMs = 5000;
@@ -519,10 +539,21 @@ int runBench(ArgReader &Args) {
       JsonPath = V;
     } else if (A == "--bus") {
       UseBus = true;
+    } else if (A == "--state-dir") {
+      if (!Args.value(A, V))
+        return 2;
+      StateDir = V;
     } else {
       return usage(("unknown option " + A).c_str());
     }
   }
+  // The --bus parity check compares SolveFinished events against in-band
+  // per-solve counters; warm cache hits never run Engine::solve, so the
+  // two accountings legitimately diverge under a state dir.
+  if (UseBus && !StateDir.empty())
+    return usage("--bus cannot be combined with --state-dir");
+  if (!StateDir.empty() && !ensureDir(StateDir))
+    return usage(("cannot create state dir " + StateDir).c_str());
 
   std::chrono::milliseconds Timeout(TimeoutMs);
   SynthesisConfig Cfg = ConfigName == "spec1" ? configSpec1(Timeout)
@@ -561,10 +592,48 @@ int runBench(ArgReader &Args) {
               std::string(simd::simdLevelName(simd::activeSimdLevel()))
                   .c_str());
 
-  std::vector<TaskResult> Results =
-      Strat == Strategy::Portfolio
-          ? runSuitePortfolio(Suite, Cfg, Threads, &std::cout)
-          : runSuite(Suite, Cfg, &std::cout);
+  std::vector<TaskResult> Results;
+  std::optional<ServiceStats> SvcStats;
+  if (!StateDir.empty()) {
+    // Durable-state arm: the whole suite runs through one SynthService so
+    // the ResultCache and refutation scopes live (and persist) across
+    // tasks. One worker + sequential submit/get keeps per-task numbers
+    // comparable with the plain runSuite loop.
+    EngineOptions EOpts;
+    EOpts.config(Cfg).strategy(Strat).stateDir(StateDir);
+    if (Strat == Strategy::Portfolio)
+      EOpts.threads(Threads);
+    Engine E = SuiteName == "sql" ? Engine::sql(EOpts) : Engine::standard(EOpts);
+    ServiceOptions SvcOpts;
+    SvcOpts.workers(1);
+    if (SvcOpts.cacheCapacity() < Suite.size())
+      SvcOpts.cacheCapacity(Suite.size());
+    SynthService Svc(E, SvcOpts);
+    Results.reserve(Suite.size());
+    for (const BenchmarkTask &T : Suite) {
+      JobHandle H = Svc.submit(toProblem(T));
+      const Solution &S = H.get();
+      TaskResult Row;
+      Row.TaskId = T.Id;
+      Row.Category = T.Category;
+      Row.Solved = bool(S);
+      Row.Seconds = S.Seconds;
+      if (S.Program)
+        Row.ProgramSexp = printSexp(S.Program);
+      Row.Stats = S.Stats;
+      std::printf("  %s: %s in %.3gs [%s]\n", Row.TaskId.c_str(),
+                  Row.Solved ? "solved" : "TIMEOUT/FAIL", Row.Seconds,
+                  std::string(resultSourceName(H.source())).c_str());
+      std::fflush(stdout);
+      Results.push_back(std::move(Row));
+    }
+    SvcStats = Svc.stats();
+    // ~SynthService runs the final checkpoint into StateDir.
+  } else {
+    Results = Strat == Strategy::Portfolio
+                  ? runSuitePortfolio(Suite, Cfg, Threads, &std::cout)
+                  : runSuite(Suite, Cfg, &std::cout);
+  }
 
   // Engine seconds SUM across runs (CPU-second flavored); wall seconds
   // MAX within one run and sum across the sequential task loop — under
@@ -593,6 +662,25 @@ int runBench(ArgReader &Args) {
               (unsigned long long)D.TemplateHits,
               (unsigned long long)D.SolverPushes,
               (unsigned long long)D.SolverPops);
+
+  if (SvcStats) {
+    // One greppable line for the CI warm-restart smoke: a second run over
+    // the same --state-dir must show results-loaded > 0 and cache-hits > 0.
+    std::printf("warm-state: results-loaded %llu, results-dropped %llu, "
+                "refutation-keys-loaded %llu, scopes-loaded %llu, "
+                "torn-tails %llu, files-rejected %llu, cache-hits %llu, "
+                "warm-loaded %llu, store-hits %llu, solver-checks %llu\n",
+                (unsigned long long)SvcStats->Warm.ResultsLoaded,
+                (unsigned long long)SvcStats->Warm.ResultsDropped,
+                (unsigned long long)SvcStats->Warm.RefutationKeysLoaded,
+                (unsigned long long)SvcStats->Warm.RefutationScopesLoaded,
+                (unsigned long long)SvcStats->Warm.TornTails,
+                (unsigned long long)SvcStats->Warm.FilesRejected,
+                (unsigned long long)SvcStats->Cache.Hits,
+                (unsigned long long)SvcStats->Cache.WarmLoaded,
+                (unsigned long long)D.StoreHits,
+                (unsigned long long)D.SolverChecks);
+  }
 
   if (!JsonPath.empty()) {
     JsonValue Snapshot =
@@ -736,6 +824,12 @@ int runServe(ArgReader &Args) {
       if (!N)
         return usage("--cache expects a number");
       SvcOpts.cacheCapacity(size_t(*N));
+    } else if (A == "--state-dir") {
+      if (!Args.value(A, V))
+        return 2;
+      if (!ensureDir(V))
+        return usage(("cannot create state dir " + V).c_str());
+      Opts.stateDir(V);
     } else if (int E = engineArg(Args, A, Opts, LibraryName); E >= 0) {
       if (E > 0)
         return E;
