@@ -24,6 +24,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "bus/EventBus.h"
+#include "cluster/ClusterClient.h"
+#include "cluster/WorkerNode.h"
+#include "interp/Components.h"
 #include "service/SynthService.h"
 
 #include <sys/stat.h>
@@ -320,6 +323,98 @@ int main(int argc, char **argv) {
                 (unsigned long long)Loaded.RefutationKeysLoaded,
                 (unsigned long long)Loaded.RefutationScopesLoaded);
     (void)WarmChecks; // restored rows carry the cold run's stats verbatim
+  }
+
+  // ------------------------------ 6. cluster tier: 1 vs 2 loopback workers
+  // The multi-node scaling arm: the same 90%-repeat schedule pushed
+  // through a coordinator sharding by fingerprint across in-process
+  // WorkerNodes on loopback (port 0 — no fixed ports, no external
+  // processes). Two questions: how cold throughput scales with a second
+  // shard, and whether fingerprint affinity preserves the warm-hit rate —
+  // every repeat must land on the shard that already cached its answer,
+  // so the cluster-wide hit rate should match a single process's.
+  {
+    ComponentLibrary Lib = StandardComponents::get().tidyDplyr();
+    std::vector<size_t> Schedule = makeSchedule(Unique, Repeats);
+
+    // Single-process comparator for the warm-hit rate, over the same
+    // cold-then-warm double pass the cluster arms run below.
+    double SingleHitRate;
+    {
+      SynthService Svc(E, ServiceOptions()
+                              .workers(1)
+                              .queueCapacity(Schedule.size())
+                              .cacheCapacity(Unique * 2));
+      for (int Pass = 0; Pass != 2; ++Pass)
+        runClients(Schedule, 4,
+                   [&](size_t U) { Svc.submit(Problems[U]).get(); });
+      ServiceStats S = Svc.stats();
+      SingleHitRate = double(S.Cache.Hits + S.Cache.Coalesced) /
+                      double(S.Submitted);
+    }
+
+    std::printf("\ncluster tier on %zu requests (4 clients, loopback "
+                "workers):\n", Schedule.size());
+    std::printf("  %-10s %12s %12s %12s %14s\n", "nodes", "cold s",
+                "cold req/s", "warm req/s", "warm-hit rate");
+    double OneNodeColdRate = 0;
+    for (unsigned Nodes : {1u, 2u}) {
+      std::vector<std::unique_ptr<WorkerNode>> Workers;
+      ClusterOptions COpts;
+      for (unsigned N = 0; N != Nodes; ++N) {
+        Workers.push_back(std::make_unique<WorkerNode>(
+            Lib, Opts, ServiceOptions()
+                           .workers(1)
+                           .queueCapacity(Schedule.size())
+                           .cacheCapacity(Unique * 2)));
+        std::string Err;
+        if (!Workers.back()->start(&Err)) {
+          std::fprintf(stderr, "cluster bench: %s\n", Err.c_str());
+          return 1;
+        }
+        COpts.Workers.push_back({"127.0.0.1", Workers.back()->port()});
+      }
+      ClusterClient C(Lib, Opts, ServiceOptions().workers(1), COpts);
+      if (!C.waitForWorkers(Nodes, std::chrono::seconds(10))) {
+        std::fprintf(stderr, "cluster bench: workers did not come up\n");
+        return 1;
+      }
+
+      double ColdSec = runClients(Schedule, 4, [&](size_t U) {
+        C.submit(Problems[U]).get();
+      });
+      double WarmSec = runClients(Schedule, 4, [&](size_t U) {
+        C.submit(Problems[U]).get();
+      });
+
+      uint64_t Hits = 0, Requests = 0;
+      for (auto &W : Workers) {
+        ServiceStats S = W->service().stats();
+        Hits += S.Cache.Hits + S.Cache.Coalesced;
+        Requests += S.Submitted;
+      }
+      double HitRate = Requests ? double(Hits) / double(Requests) : 0.0;
+      double ColdRate = double(Schedule.size()) / ColdSec;
+      if (Nodes == 1)
+        OneNodeColdRate = ColdRate;
+      std::printf("  %-10u %12.3f %12.1f %12.1f %13.1f%%\n", Nodes, ColdSec,
+                  ColdRate, double(Schedule.size()) / WarmSec,
+                  100.0 * HitRate);
+      if (Nodes == 2) {
+        ClusterStats CS = C.stats();
+        std::printf("      (2-node cold scaling %.2fx vs 1 node; shard "
+                    "split %llu/%llu; %llu local fallbacks)\n"
+                    "      (single-process warm-hit rate %.1f%% — affinity "
+                    "target: within 5%%)\n",
+                    OneNodeColdRate > 0 ? ColdRate / OneNodeColdRate : 0.0,
+                    (unsigned long long)CS.PerWorkerForwarded[0],
+                    (unsigned long long)CS.PerWorkerForwarded[1],
+                    (unsigned long long)CS.LocalSolves,
+                    100.0 * SingleHitRate);
+      }
+      for (auto &W : Workers)
+        W->stop();
+    }
   }
 
   std::printf("\nnote: single-pass speedup is bounded by 1/(1-repeat rate) "

@@ -72,6 +72,8 @@ enum class EventKind : uint8_t {
                       ///< D = ResultSource, Text = program sexp if solved
   JobTimeout,         ///< A = job id, B = fp, C = 1 queue-expiry / 0
                       ///< rider shed mid-solve (JobCompleted also fires)
+  JobStarted,         ///< A = job id, B = fp; a worker picked the job up
+                      ///< (queue wait ended). Cache hits never fire this.
   // --- durable warm state (service/WarmState.h) ---
   WarmStateLoaded,    ///< a state dir was restored at service start;
                       ///< A = cache entries loaded, B = refutation keys
@@ -81,9 +83,18 @@ enum class EventKind : uint8_t {
                       ///< entries written, B = refutation keys written,
                       ///< C = bytes written, D = 1 final (shutdown) / 0
                       ///< periodic
+  // --- cluster tier (cluster/Cluster.h) ---
+  JobForwarded,       ///< the coordinator shipped a job to a shard;
+                      ///< A = request id, B = problem fp, C = worker
+                      ///< index, D = attempt number (1-based)
+  WorkerUp,           ///< a worker link completed its handshake;
+                      ///< A = worker index
+  WorkerDown,         ///< a worker link dropped (connect failure, frame
+                      ///< corruption, refused handshake or EOF);
+                      ///< A = worker index, B = in-flight jobs reassigned
 };
 
-constexpr unsigned NumEventKinds = unsigned(EventKind::CheckpointSaved) + 1;
+constexpr unsigned NumEventKinds = unsigned(EventKind::WorkerDown) + 1;
 
 /// Bit of \p K inside a subscription's kind mask.
 constexpr uint64_t eventKindBit(EventKind K) {

@@ -41,10 +41,18 @@ std::string_view morpheus::eventKindName(EventKind K) {
     return "job-completed";
   case EventKind::JobTimeout:
     return "job-timeout";
+  case EventKind::JobStarted:
+    return "job-started";
   case EventKind::WarmStateLoaded:
     return "warm-state-loaded";
   case EventKind::CheckpointSaved:
     return "checkpoint-saved";
+  case EventKind::JobForwarded:
+    return "job-forwarded";
+  case EventKind::WorkerUp:
+    return "worker-up";
+  case EventKind::WorkerDown:
+    return "worker-down";
   }
   return "?";
 }

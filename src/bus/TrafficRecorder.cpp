@@ -111,6 +111,24 @@ morpheus::parseTrafficRecord(std::string_view Line, std::string *Err) {
   R.Outcome = Outcome->Str;
   R.Source = Source->Str;
 
+  // Optional timing fields: absent in logs recorded before they existed.
+  if (const JsonValue *Q = Doc->find("queue_ms")) {
+    if (!Q->isNumber() || Q->Num < 0) {
+      if (Err)
+        *Err = "'queue_ms' is not a non-negative number";
+      return std::nullopt;
+    }
+    R.QueueMs = Q->Num;
+  }
+  if (const JsonValue *S = Doc->find("solve_ms")) {
+    if (!S->isNumber() || S->Num < 0) {
+      if (Err)
+        *Err = "'solve_ms' is not a non-negative number";
+      return std::nullopt;
+    }
+    R.SolveMs = S->Num;
+  }
+
   if (const JsonValue *Prog = Doc->find("program")) {
     if (!Prog->isString()) {
       if (Err)
@@ -170,6 +188,10 @@ std::string morpheus::trafficRecordToLine(const TrafficRecord &R) {
   Doc.set("completed_ns", JsonValue::string(std::to_string(R.CompletedNs)));
   Doc.set("priority", JsonValue::number(double(R.Priority)));
   Doc.set("deadline_ms", JsonValue::number(double(R.DeadlineMs)));
+  if (R.QueueMs >= 0)
+    Doc.set("queue_ms", JsonValue::number(R.QueueMs));
+  if (R.SolveMs >= 0)
+    Doc.set("solve_ms", JsonValue::number(R.SolveMs));
   Doc.set("outcome", JsonValue::string(R.Outcome));
   Doc.set("source", JsonValue::string(R.Source));
   if (!R.Program.empty())
@@ -184,6 +206,7 @@ TrafficRecorder::TrafficRecorder(std::shared_ptr<EventBus> BusIn,
   Subscription S;
   S.Name = "traffic-recorder";
   S.KindMask = eventKindBit(EventKind::JobSubmitted) |
+               eventKindBit(EventKind::JobStarted) |
                eventKindBit(EventKind::JobCompleted);
   S.OnBatch = [this](const std::vector<Event> &Batch) { onBatch(Batch); };
   SubId = Bus->subscribe(std::move(S));
@@ -209,15 +232,32 @@ void TrafficRecorder::onBatch(const std::vector<Event> &Batch) {
       R.DeadlineMs = E.D;
       R.Prob = E.Prob;
       Pending[R.Job] = std::move(R);
+    } else if (E.Kind == EventKind::JobStarted) {
+      if (Pending.count(E.A))
+        StartedNs[E.A] = E.TimeNs;
     } else if (E.Kind == EventKind::JobCompleted) {
       auto It = Pending.find(E.A);
       if (It == Pending.end()) {
         ++Orphans;
+        StartedNs.erase(E.A);
         continue;
       }
       TrafficRecord R = std::move(It->second);
       Pending.erase(It);
       R.CompletedNs = E.TimeNs;
+      // Timing split from the event clock: jobs that never reached a
+      // worker (cache hits, queue-deadline expiries) spent their whole
+      // life queued and solved for 0 ms.
+      auto StartIt = StartedNs.find(E.A);
+      uint64_t StartNs = StartIt != StartedNs.end() ? StartIt->second : 0;
+      if (StartIt != StartedNs.end())
+        StartedNs.erase(StartIt);
+      uint64_t QueueEndNs = StartNs ? StartNs : E.TimeNs;
+      R.QueueMs = QueueEndNs > R.ArrivalNs
+                      ? double(QueueEndNs - R.ArrivalNs) / 1e6
+                      : 0;
+      R.SolveMs =
+          StartNs && E.TimeNs > StartNs ? double(E.TimeNs - StartNs) / 1e6 : 0;
       R.Outcome = outcomeName(Outcome(E.C));
       R.Source = resultSourceName(ResultSource(E.D));
       if (E.Text)

@@ -58,6 +58,11 @@ struct TrafficRecord {
   uint64_t CompletedNs = 0; ///< JobCompleted bus timestamp
   int64_t Priority = 0;
   uint64_t DeadlineMs = 0; ///< 0 = no deadline
+  /// Scheduling latency split (from the JobStarted event): queue wait and
+  /// solve duration in milliseconds. Negative = not recorded — logs from
+  /// before these fields existed parse (and re-serialize) without them.
+  double QueueMs = -1;
+  double SolveMs = -1;
   std::string Outcome;     ///< outcomeName() at record time
   std::string Source;      ///< resultSourceName() at record time
   std::string Program;     ///< solved program s-expression; empty if none
@@ -106,6 +111,8 @@ private:
   mutable Mutex M;
   /// Job id -> the half-record started by its JobSubmitted event.
   std::unordered_map<uint64_t, TrafficRecord> Pending GUARDED_BY(M);
+  /// Job id -> JobStarted bus timestamp (jobs that reached a worker).
+  std::unordered_map<uint64_t, uint64_t> StartedNs GUARDED_BY(M);
   uint64_t Written GUARDED_BY(M) = 0;
   uint64_t Orphans GUARDED_BY(M) = 0;
 };

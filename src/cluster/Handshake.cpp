@@ -1,0 +1,25 @@
+//===- cluster/Handshake.cpp - Cluster compatibility digests --------------===//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Handshake.h"
+
+#include "service/Fingerprint.h"
+
+namespace morpheus {
+
+uint64_t clusterOptionsDigest(const EngineOptions &Opts) {
+  // A fixed tiny problem: its fingerprint varies only with the
+  // fingerprint-relevant option knobs, which is exactly the agreement the
+  // handshake needs to establish. Rebuilt per call — the handshake runs
+  // once per connection, not on any hot path.
+  Table T = makeTable({{"k", CellType::Num}, {"s", CellType::Str}},
+                      {{num(1), str("cluster")}, {num(2), str("digest")}});
+  Problem P = Problem::fromTables({T}, T);
+  P.Name = "__cluster_digest__";
+  return problemFingerprint(P, Opts);
+}
+
+} // namespace morpheus

@@ -1,0 +1,43 @@
+//===- cluster/Handshake.h - Cluster compatibility digests ------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What a coordinator and a worker must agree on before sharing jobs, and
+/// how each side proves it in the Hello/HelloAck exchange (net/Wire.h):
+///
+///  - the options digest: problemFingerprint of a fixed canonical problem
+///    under the engine options. Two processes agree on it exactly when
+///    every fingerprint-relevant knob (strategy, spec level, deduction /
+///    partial-eval / n-gram toggles, component bounds, timeout) matches —
+///    which is precisely the condition for a fingerprint computed on the
+///    coordinator to address the same cache entry on the worker;
+///  - the warm-state compat key (service/WarmState.h): the component
+///    library + semantic knobs. Redundant with the digest today (the
+///    digest keys the options, the compat key the library), but carried
+///    separately so a mismatch message can say *which* layer disagrees.
+///
+/// A worker refuses (HelloAck.Accepted = 0) on any disagreement: a
+/// cluster mixing libraries or spec levels would return wrong-config
+/// results for forwarded fingerprints, a correctness bug rather than a
+/// performance one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_CLUSTER_HANDSHAKE_H
+#define MORPHEUS_CLUSTER_HANDSHAKE_H
+
+#include "api/Engine.h"
+
+#include <cstdint>
+
+namespace morpheus {
+
+/// The engine-options digest described above.
+uint64_t clusterOptionsDigest(const EngineOptions &Opts);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_CLUSTER_HANDSHAKE_H

@@ -1,0 +1,213 @@
+//===- net/EventLoop.cpp - poll(2) reactor with timers --------------------===//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+namespace morpheus {
+
+static uint64_t thisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+EventLoop::EventLoop() {
+  int Pipe[2] = {-1, -1};
+  if (pipe(Pipe) == 0) {
+    WakeRead = Pipe[0];
+    WakeWrite = Pipe[1];
+    // Both ends non-blocking: the drain loop must stop at EAGAIN instead
+    // of parking the loop thread, and wakeup() must never stall a
+    // publisher against a full pipe (the loop is already due to wake).
+    fcntl(WakeRead, F_SETFL, fcntl(WakeRead, F_GETFL, 0) | O_NONBLOCK);
+    fcntl(WakeWrite, F_SETFL, fcntl(WakeWrite, F_GETFL, 0) | O_NONBLOCK);
+  }
+}
+
+EventLoop::~EventLoop() {
+  closeFd(WakeRead);
+  closeFd(WakeWrite);
+}
+
+bool EventLoop::inLoopThread() const {
+  return LoopThread.load(std::memory_order_relaxed) == thisThreadId();
+}
+
+int64_t EventLoop::nowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventLoop::wakeup() {
+  char B = 1;
+  ssize_t R;
+  do {
+    R = write(WakeWrite, &B, 1);
+  } while (R < 0 && errno == EINTR);
+  // A full pipe is fine: the loop is already due to wake.
+}
+
+void EventLoop::post(std::function<void()> Fn) {
+  {
+    MutexLock L(M);
+    Posted.push_back(std::move(Fn));
+  }
+  wakeup();
+}
+
+void EventLoop::stop() {
+  {
+    MutexLock L(M);
+    Stop = true;
+  }
+  wakeup();
+}
+
+void EventLoop::drainPosted() {
+  std::vector<std::function<void()>> Batch;
+  {
+    MutexLock L(M);
+    Batch.swap(Posted);
+  }
+  for (auto &Fn : Batch)
+    Fn();
+}
+
+void EventLoop::addFd(int Fd, unsigned Interest, FdCallback CB) {
+  Watch &W = Watches[Fd];
+  W.Interest = Interest;
+  W.Gen = NextGen++;
+  W.CB = std::move(CB);
+}
+
+void EventLoop::modifyFd(int Fd, unsigned Interest) {
+  auto It = Watches.find(Fd);
+  if (It != Watches.end())
+    It->second.Interest = Interest;
+}
+
+void EventLoop::removeFd(int Fd) { Watches.erase(Fd); }
+
+uint64_t EventLoop::addTimer(int64_t DelayMs, TimerCallback CB) {
+  uint64_t Id = NextTimerId++;
+  if (DelayMs < 0)
+    DelayMs = 0;
+  Timers.emplace(nowMs() + DelayMs, Timer{Id, std::move(CB)});
+  return Id;
+}
+
+void EventLoop::cancelTimer(uint64_t Id) {
+  for (auto It = Timers.begin(); It != Timers.end(); ++It) {
+    if (It->second.Id == Id) {
+      Timers.erase(It);
+      return;
+    }
+  }
+}
+
+void EventLoop::run() {
+  LoopThread.store(thisThreadId(), std::memory_order_relaxed);
+
+  std::vector<pollfd> Pfds;
+  // (fd, generation) of each pollfd so a removeFd (or re-add) from inside
+  // a callback invalidates events collected earlier in the iteration.
+  std::vector<std::pair<int, uint64_t>> Slots;
+
+  for (;;) {
+    drainPosted();
+    {
+      MutexLock L(M);
+      if (Stop) {
+        Stop = false;
+        break;
+      }
+    }
+
+    // Fire due timers; copy out first so a callback may add/cancel.
+    int64_t Now = nowMs();
+    std::vector<TimerCallback> Due;
+    while (!Timers.empty() && Timers.begin()->first <= Now) {
+      Due.push_back(std::move(Timers.begin()->second.CB));
+      Timers.erase(Timers.begin());
+    }
+    for (auto &CB : Due)
+      CB();
+    if (!Due.empty())
+      continue; // re-check posted/stop before blocking again
+
+    Pfds.clear();
+    Slots.clear();
+    Pfds.push_back({WakeRead, POLLIN, 0});
+    Slots.emplace_back(WakeRead, 0);
+    for (auto &[Fd, W] : Watches) {
+      short Ev = 0;
+      if (W.Interest & EvRead)
+        Ev |= POLLIN;
+      if (W.Interest & EvWrite)
+        Ev |= POLLOUT;
+      Pfds.push_back({Fd, Ev, 0});
+      Slots.emplace_back(Fd, W.Gen);
+    }
+
+    int TimeoutMs = -1;
+    if (!Timers.empty()) {
+      int64_t Delta = Timers.begin()->first - nowMs();
+      TimeoutMs = Delta < 0 ? 0 : (Delta > 60000 ? 60000 : int(Delta));
+    }
+
+    int RC = poll(Pfds.data(), nfds_t(Pfds.size()), TimeoutMs);
+    if (RC < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // unrecoverable poll failure; run() returns rather than spins
+    }
+
+    for (size_t I = 0; I < Pfds.size(); ++I) {
+      short Re = Pfds[I].revents;
+      if (!Re)
+        continue;
+      int Fd = Slots[I].first;
+      if (Fd == WakeRead) {
+        char Buf[256];
+        while (read(WakeRead, Buf, sizeof(Buf)) > 0) {
+        }
+        continue;
+      }
+      auto It = Watches.find(Fd);
+      // Skip events for fds removed (or removed-and-readded) by an
+      // earlier callback in this same iteration.
+      if (It == Watches.end() || It->second.Gen != Slots[I].second)
+        continue;
+      unsigned Events = 0;
+      if (Re & POLLIN)
+        Events |= EvRead;
+      if (Re & POLLOUT)
+        Events |= EvWrite;
+      if (Re & (POLLERR | POLLHUP | POLLNVAL))
+        Events |= EvError;
+      if (Events) {
+        // The callback may destroy the Watch (and its own std::function);
+        // dispatch through a copy on the stack.
+        FdCallback CB = It->second.CB;
+        CB(Events);
+      }
+    }
+  }
+
+  drainPosted(); // run anything posted between stop() and exit
+  LoopThread.store(0, std::memory_order_relaxed);
+}
+
+} // namespace morpheus

@@ -1,0 +1,129 @@
+//===- net/EventLoop.h - poll(2) reactor with timers ------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-threaded reactor under the cluster tier. Connections are
+/// not threads here: each one registers its fd with interest flags and a
+/// callback, and advances its own small state machine (handshake →
+/// streaming → draining) from inside that callback — the FOP/FOM shape
+/// from ROADMAP item 1. One loop thread multiplexes every connection, so
+/// connection state needs no locks at all: it is loop-thread-confined,
+/// and the only cross-thread doorway is post(), which enqueues a closure
+/// under a Mutex and wakes poll(2) through a self-pipe.
+///
+/// Concurrency contract:
+///  - addFd/modifyFd/removeFd/addTimer/cancelTimer: loop thread only
+///    (call them from inside a callback or a post()ed closure);
+///  - post(): any thread, including the loop thread itself;
+///  - run() blocks until stop(); stop() is safe from any thread.
+///
+/// Timers are one-shot, millisecond-granular, and identified by the id
+/// addTimer returns; the cluster uses them for reconnect backoff, connect
+/// timeouts and coordinator-side deadline enforcement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_NET_EVENTLOOP_H
+#define MORPHEUS_NET_EVENTLOOP_H
+
+#include "support/Sync.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace morpheus {
+
+/// Readiness interest / result bits for fd callbacks.
+enum : unsigned {
+  EvRead = 1u << 0,
+  EvWrite = 1u << 1,
+  EvError = 1u << 2, ///< POLLERR/POLLHUP/POLLNVAL; always reported
+};
+
+class EventLoop {
+public:
+  using FdCallback = std::function<void(unsigned Events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// Runs until stop(). The caller's thread becomes the loop thread.
+  void run();
+
+  /// Makes run() return after the current iteration. Any thread.
+  void stop();
+
+  /// Enqueues \p Fn to run on the loop thread. Any thread; never runs
+  /// inline, even when called from the loop thread (avoids reentrancy
+  /// surprises in connection state machines).
+  void post(std::function<void()> Fn);
+
+  // -- loop-thread-only registration --------------------------------------
+
+  /// Watches \p Fd with \p Interest (EvRead|EvWrite). The callback
+  /// receives the ready bits; EvError is always delivered regardless of
+  /// the interest mask.
+  void addFd(int Fd, unsigned Interest, FdCallback CB);
+
+  /// Replaces the interest mask of a watched fd.
+  void modifyFd(int Fd, unsigned Interest);
+
+  /// Stops watching \p Fd (does not close it). Safe mid-dispatch: a
+  /// removal from inside any callback suppresses pending events for the
+  /// fd in the same iteration.
+  void removeFd(int Fd);
+
+  /// Schedules \p CB once, \p DelayMs from now. Returns a cancel id.
+  uint64_t addTimer(int64_t DelayMs, TimerCallback CB);
+
+  /// Cancels a pending timer; no-op when already fired or cancelled.
+  void cancelTimer(uint64_t Id);
+
+  /// True on the thread currently inside run().
+  bool inLoopThread() const;
+
+private:
+  void wakeup();
+  void drainPosted();
+  int64_t nowMs() const;
+
+  // Loop-thread-confined fd/timer tables (no guards needed; see file
+  // comment). Generation counters let removeFd mid-dispatch invalidate
+  // events already collected for this iteration.
+  struct Watch {
+    unsigned Interest = 0;
+    uint64_t Gen = 0;
+    FdCallback CB;
+  };
+  std::unordered_map<int, Watch> Watches;
+  uint64_t NextGen = 1;
+  struct Timer {
+    uint64_t Id = 0;
+    TimerCallback CB;
+  };
+  std::multimap<int64_t, Timer> Timers; ///< fire-time ms → timer
+  uint64_t NextTimerId = 1;
+
+  int WakeRead = -1;  ///< self-pipe read end, watched by poll
+  int WakeWrite = -1; ///< written by post()/stop() from other threads
+
+  Mutex M;
+  std::vector<std::function<void()>> Posted GUARDED_BY(M);
+  bool Stop GUARDED_BY(M) = false;
+
+  std::atomic<uint64_t> LoopThread{0}; ///< hashed thread id; 0 = not running
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_NET_EVENTLOOP_H

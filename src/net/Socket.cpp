@@ -1,0 +1,232 @@
+//===- net/Socket.cpp - Thin POSIX TCP socket helpers ---------------------===//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace morpheus {
+
+std::optional<SockAddr> parseHostPort(std::string_view Spec) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string_view::npos || Colon == 0)
+    return std::nullopt;
+  std::string_view PortStr = Spec.substr(Colon + 1);
+  if (PortStr.empty() || PortStr.size() > 5)
+    return std::nullopt;
+  uint32_t Port = 0;
+  for (char C : PortStr) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Port = Port * 10 + uint32_t(C - '0');
+  }
+  if (Port > 65535)
+    return std::nullopt;
+  SockAddr A;
+  A.Host = std::string(Spec.substr(0, Colon));
+  A.Port = uint16_t(Port);
+  return A;
+}
+
+static bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+static void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+/// getaddrinfo wrapper; returns the head of the list or null with Err.
+static addrinfo *resolve(const SockAddr &Addr, bool Passive,
+                         std::string *Err) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  if (Passive)
+    Hints.ai_flags = AI_PASSIVE;
+  std::string PortStr = std::to_string(Addr.Port);
+  addrinfo *Res = nullptr;
+  int RC = getaddrinfo(Addr.Host.empty() ? nullptr : Addr.Host.c_str(),
+                       PortStr.c_str(), &Hints, &Res);
+  if (RC != 0) {
+    setErr(Err, "resolve " + Addr.Host + ": " + gai_strerror(RC));
+    return nullptr;
+  }
+  return Res;
+}
+
+int listenTcp(const SockAddr &Addr, uint16_t *BoundPort, std::string *Err) {
+  addrinfo *Res = resolve(Addr, /*Passive=*/true, Err);
+  if (!Res)
+    return -1;
+  int Fd = -1;
+  std::string LastErr = "no usable address";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0) {
+      LastErr = std::string("socket: ") + strerror(errno);
+      continue;
+    }
+    int One = 1;
+    setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (bind(Fd, AI->ai_addr, AI->ai_addrlen) != 0 || listen(Fd, 64) != 0 ||
+        !setNonBlocking(Fd)) {
+      LastErr = std::string("bind/listen: ") + strerror(errno);
+      closeFd(Fd);
+      Fd = -1;
+      continue;
+    }
+    break;
+  }
+  freeaddrinfo(Res);
+  if (Fd < 0) {
+    setErr(Err, LastErr);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_storage SS{};
+    socklen_t SL = sizeof(SS);
+    if (getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &SL) == 0) {
+      if (SS.ss_family == AF_INET)
+        *BoundPort = ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+      else if (SS.ss_family == AF_INET6)
+        *BoundPort = ntohs(reinterpret_cast<sockaddr_in6 *>(&SS)->sin6_port);
+    }
+  }
+  return Fd;
+}
+
+int acceptTcp(int ListenFd, std::string *Err) {
+  for (;;) {
+    int Fd = accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0) {
+      if (!setNonBlocking(Fd)) {
+        setErr(Err, std::string("fcntl: ") + strerror(errno));
+        closeFd(Fd);
+        return -1;
+      }
+      int One = 1;
+      setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return Fd;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      setErr(Err, std::string("accept: ") + strerror(errno));
+    return -1;
+  }
+}
+
+int connectTcp(const SockAddr &Addr, bool &InProgress, std::string *Err) {
+  InProgress = false;
+  addrinfo *Res = resolve(Addr, /*Passive=*/false, Err);
+  if (!Res)
+    return -1;
+  int Fd = -1;
+  std::string LastErr = "no usable address";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0) {
+      LastErr = std::string("socket: ") + strerror(errno);
+      continue;
+    }
+    if (!setNonBlocking(Fd)) {
+      LastErr = std::string("fcntl: ") + strerror(errno);
+      closeFd(Fd);
+      Fd = -1;
+      continue;
+    }
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    if (connect(Fd, AI->ai_addr, AI->ai_addrlen) == 0)
+      break; // immediate success (loopback fast path)
+    if (errno == EINPROGRESS) {
+      InProgress = true;
+      break;
+    }
+    LastErr = std::string("connect: ") + strerror(errno);
+    closeFd(Fd);
+    Fd = -1;
+  }
+  freeaddrinfo(Res);
+  if (Fd < 0)
+    setErr(Err, LastErr);
+  return Fd;
+}
+
+bool connectFinished(int Fd, std::string *Err) {
+  int SoErr = 0;
+  socklen_t Len = sizeof(SoErr);
+  if (getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) != 0)
+    SoErr = errno;
+  if (SoErr != 0) {
+    setErr(Err, std::string("connect: ") + strerror(SoErr));
+    return false;
+  }
+  return true;
+}
+
+IoStatus readSome(int Fd, std::string &Out, size_t Cap, size_t &N) {
+  N = 0;
+  char Buf[16384];
+  size_t Want = Cap < sizeof(Buf) ? Cap : sizeof(Buf);
+  for (;;) {
+    ssize_t R = read(Fd, Buf, Want);
+    if (R > 0) {
+      Out.append(Buf, size_t(R));
+      N = size_t(R);
+      return IoStatus::Ok;
+    }
+    if (R == 0)
+      return IoStatus::Closed;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return IoStatus::WouldBlock;
+    if (errno == ECONNRESET)
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+}
+
+IoStatus writeSome(int Fd, std::string_view Data, size_t &N) {
+  N = 0;
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as a
+    // return value, not SIGPIPE killing the process.
+    ssize_t W = send(Fd, Data.data(), Data.size(), MSG_NOSIGNAL);
+    if (W >= 0) {
+      N = size_t(W);
+      return IoStatus::Ok;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return IoStatus::WouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET)
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+}
+
+void closeFd(int Fd) {
+  if (Fd < 0)
+    return;
+  while (close(Fd) != 0 && errno == EINTR) {
+  }
+}
+
+} // namespace morpheus

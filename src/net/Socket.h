@@ -1,0 +1,80 @@
+//===- net/Socket.h - Thin POSIX TCP socket helpers -------------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The few socket operations the cluster tier needs, wrapped so the event
+/// loop and connection code never touch raw sockaddr plumbing: parse
+/// "host:port", open a non-blocking listener, start a non-blocking
+/// connect, and move bytes with EAGAIN folded into the return value.
+/// Everything is non-blocking — the EventLoop (net/EventLoop.h) supplies
+/// the readiness notifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_NET_SOCKET_H
+#define MORPHEUS_NET_SOCKET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace morpheus {
+
+/// A "host:port" pair. Host may be a name ("localhost") or numeric.
+struct SockAddr {
+  std::string Host;
+  uint16_t Port = 0;
+};
+
+/// Parses "host:port". nullopt when there is no colon, the port is not a
+/// number in [0, 65535], or the host part is empty.
+std::optional<SockAddr> parseHostPort(std::string_view Spec);
+
+/// Opens a non-blocking listening socket (SO_REUSEADDR, backlog 64) bound
+/// to \p Addr. Port 0 picks an ephemeral port; \p BoundPort (when non-null)
+/// receives the actual port. Returns the fd, or -1 with \p Err set.
+int listenTcp(const SockAddr &Addr, uint16_t *BoundPort = nullptr,
+              std::string *Err = nullptr);
+
+/// Accepts one pending connection off \p ListenFd as non-blocking.
+/// Returns the fd, or -1 when none is pending (or on error; \p Err set
+/// only for real errors, left untouched for would-block).
+int acceptTcp(int ListenFd, std::string *Err = nullptr);
+
+/// Starts a non-blocking connect to \p Addr. Returns the fd with
+/// \p InProgress = true when the connect is pending (poll for writability,
+/// then connectFinished), false when it completed immediately; -1 with
+/// \p Err on synchronous failure (e.g. resolution).
+int connectTcp(const SockAddr &Addr, bool &InProgress,
+               std::string *Err = nullptr);
+
+/// Resolves the outcome of a pending connect once the fd polled writable.
+/// True on success; false with \p Err when the connect failed.
+bool connectFinished(int Fd, std::string *Err = nullptr);
+
+/// Result of a non-blocking read/write attempt.
+enum class IoStatus {
+  Ok,         ///< some bytes moved
+  WouldBlock, ///< EAGAIN — wait for readiness
+  Closed,     ///< peer closed (read: EOF; write: EPIPE/ECONNRESET)
+  Error       ///< anything else
+};
+
+/// Reads up to \p Cap bytes into \p Out (appended). \p N receives the
+/// byte count when Ok.
+IoStatus readSome(int Fd, std::string &Out, size_t Cap, size_t &N);
+
+/// Writes as much of \p Data as the kernel accepts. \p N receives the
+/// byte count when Ok (may be short).
+IoStatus writeSome(int Fd, std::string_view Data, size_t &N);
+
+/// close(2) with EINTR retry; safe on -1.
+void closeFd(int Fd);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_NET_SOCKET_H

@@ -1,0 +1,197 @@
+//===- net/Wire.cpp - Binary RPC frame codec and messages -----------------===//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include "io/RecordLog.h"
+
+#include <cstring>
+
+namespace morpheus {
+
+static void putRawU32(std::string &Out, uint32_t V) {
+  char B[4];
+  B[0] = char(V & 0xFF);
+  B[1] = char((V >> 8) & 0xFF);
+  B[2] = char((V >> 16) & 0xFF);
+  B[3] = char((V >> 24) & 0xFF);
+  Out.append(B, 4);
+}
+
+static uint32_t rawU32(const char *P) {
+  return uint32_t(uint8_t(P[0])) | uint32_t(uint8_t(P[1])) << 8 |
+         uint32_t(uint8_t(P[2])) << 16 | uint32_t(uint8_t(P[3])) << 24;
+}
+
+std::string encodeFrame(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderBytes + Payload.size());
+  putRawU32(Out, WireMagic);
+  putRawU32(Out, uint32_t(Payload.size()));
+  putRawU32(Out, crc32(Payload.data(), Payload.size()));
+  Out.append(Payload);
+  return Out;
+}
+
+void FrameDecoder::feed(std::string_view Data) {
+  if (Poisoned)
+    return;
+  // Compact the consumed prefix before it grows without bound; amortized
+  // O(1) because we only pay when the dead prefix dominates the buffer.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  Buf.append(Data);
+}
+
+FrameDecoder::Status FrameDecoder::take(std::string &Payload) {
+  if (Poisoned)
+    return Status::Corrupt;
+  if (Buf.size() - Pos < FrameHeaderBytes)
+    return Status::NeedMore;
+  const char *Hdr = Buf.data() + Pos;
+  if (rawU32(Hdr) != WireMagic) {
+    Poisoned = true;
+    return Status::Corrupt;
+  }
+  uint32_t Len = rawU32(Hdr + 4);
+  if (Len > MaxFramePayload) {
+    Poisoned = true;
+    return Status::Corrupt;
+  }
+  if (Buf.size() - Pos < FrameHeaderBytes + Len)
+    return Status::NeedMore;
+  uint32_t WantCrc = rawU32(Hdr + 8);
+  const char *Body = Hdr + FrameHeaderBytes;
+  if (crc32(Body, Len) != WantCrc) {
+    Poisoned = true;
+    return Status::Corrupt;
+  }
+  Payload.assign(Body, Len);
+  Pos += FrameHeaderBytes + Len;
+  return Status::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+std::string_view msgTypeName(MsgType T) {
+  switch (T) {
+  case MsgType::Hello:
+    return "hello";
+  case MsgType::HelloAck:
+    return "hello_ack";
+  case MsgType::Solve:
+    return "solve";
+  case MsgType::Result:
+    return "result";
+  case MsgType::Cancel:
+    return "cancel";
+  case MsgType::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string encodeMessage(const WireMessage &M) {
+  ByteWriter W;
+  W.putU32(uint32_t(M.Type));
+  switch (M.Type) {
+  case MsgType::Hello:
+    W.putU32(M.Version);
+    W.putU64(M.OptionsDigest);
+    W.putU64(M.CompatKey);
+    W.putStr(M.Text);
+    break;
+  case MsgType::HelloAck:
+    W.putU32(M.Version);
+    W.putU32(M.Accepted);
+    W.putStr(M.Text);
+    break;
+  case MsgType::Solve:
+    W.putU64(M.ReqId);
+    W.putU64(uint64_t(M.Priority));
+    W.putU64(M.DeadlineMs);
+    W.putStr(M.ProblemJson);
+    break;
+  case MsgType::Result:
+    W.putU64(M.ReqId);
+    W.putU32(M.OutcomeCode);
+    W.putStr(M.Source);
+    W.putF64(M.Seconds);
+    W.putF64(M.QueueMs);
+    W.putF64(M.SolveMs);
+    W.putU64(M.Hypotheses);
+    W.putU64(M.Candidates);
+    W.putStr(M.Program);
+    break;
+  case MsgType::Cancel:
+    W.putU64(M.ReqId);
+    break;
+  case MsgType::Error:
+    W.putU64(M.ReqId);
+    W.putStr(M.Text);
+    break;
+  }
+  return W.take();
+}
+
+std::optional<WireMessage> decodeMessage(std::string_view Payload,
+                                         std::string *Err) {
+  auto Fail = [&](const char *Why) -> std::optional<WireMessage> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+
+  ByteReader R(Payload);
+  uint32_t RawType = 0;
+  if (!R.getU32(RawType))
+    return Fail("empty message payload");
+  if (RawType < uint32_t(MsgType::Hello) || RawType > uint32_t(MsgType::Error))
+    return Fail("unknown message type");
+
+  WireMessage M;
+  M.Type = MsgType(RawType);
+  bool Ok = true;
+  switch (M.Type) {
+  case MsgType::Hello:
+    Ok = R.getU32(M.Version) && R.getU64(M.OptionsDigest) &&
+         R.getU64(M.CompatKey) && R.getStr(M.Text);
+    break;
+  case MsgType::HelloAck:
+    Ok = R.getU32(M.Version) && R.getU32(M.Accepted) && R.getStr(M.Text);
+    break;
+  case MsgType::Solve: {
+    uint64_t RawPrio = 0;
+    Ok = R.getU64(M.ReqId) && R.getU64(RawPrio) && R.getU64(M.DeadlineMs) &&
+         R.getStr(M.ProblemJson);
+    M.Priority = int64_t(RawPrio);
+    break;
+  }
+  case MsgType::Result:
+    Ok = R.getU64(M.ReqId) && R.getU32(M.OutcomeCode) && R.getStr(M.Source) &&
+         R.getF64(M.Seconds) && R.getF64(M.QueueMs) && R.getF64(M.SolveMs) &&
+         R.getU64(M.Hypotheses) && R.getU64(M.Candidates) &&
+         R.getStr(M.Program);
+    break;
+  case MsgType::Cancel:
+    Ok = R.getU64(M.ReqId);
+    break;
+  case MsgType::Error:
+    Ok = R.getU64(M.ReqId) && R.getStr(M.Text);
+    break;
+  }
+  if (!Ok)
+    return Fail("truncated message body");
+  if (!R.atEnd())
+    return Fail("trailing bytes after message body");
+  return M;
+}
+
+} // namespace morpheus

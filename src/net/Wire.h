@@ -1,0 +1,155 @@
+//===- net/Wire.h - Binary RPC frame codec and messages ---------*- C++ -*-==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the cluster tier (src/cluster/): a length-prefixed,
+/// CRC-guarded binary frame stream over TCP, carrying a small fixed set of
+/// RPC messages between the coordinator and its workers. The framing
+/// reuses the RecordLog discipline (io/RecordLog.h) — self-delimiting
+/// frames, every payload individually checksummed, little-endian scalars
+/// via ByteWriter/ByteReader — applied to a socket instead of a file:
+///
+///   frame   MAGIC(4) | payload length(4) | payload CRC32(4) | payload
+///   payload message type(1) | message fields (ByteWriter encoding)
+///
+/// Corruption contract: a frame whose preamble is not MAGIC, whose length
+/// exceeds MaxFramePayload, or whose payload fails its CRC poisons the
+/// stream — FrameDecoder reports Corrupt and both sides close the
+/// connection. There is no resynchronization: TCP already guarantees
+/// ordered delivery, so a damaged frame means a buggy or malicious peer,
+/// and the in-flight jobs are retried over a fresh connection (the
+/// coordinator's failover path). tests/WireTest.cpp fuzzes this boundary
+/// byte by byte.
+///
+/// Messages (all ids are per-connection, assigned by the coordinator):
+///   Hello / HelloAck  handshake: wire version + engine-options digest +
+///                     warm-state compat key. A worker refuses (accepted
+///                     = 0) when any of the three disagree — a cluster
+///                     mixing spec levels or component libraries would
+///                     break result parity, not just performance.
+///   Solve             one job: id, priority, remaining deadline budget
+///                     (ms, 0 = none — deadline propagation), the problem
+///                     as ProblemIO JSON.
+///   Result            the job's outcome: id, Outcome, the worker-side
+///                     ResultSource name, seconds / queue_ms / solve_ms,
+///                     search counters, program s-expression when solved.
+///   Cancel            the coordinator lost interest in id (client
+///                     cancelled or its deadline fired locally).
+///   Error             the worker could not run id (e.g. the problem JSON
+///                     failed to parse); the coordinator fails the job
+///                     over to local solving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MORPHEUS_NET_WIRE_H
+#define MORPHEUS_NET_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace morpheus {
+
+/// Frame preamble: "MRPC" little-endian.
+constexpr uint32_t WireMagic = 0x4350524DU;
+/// Version of the message set; either side refuses a mismatch at Hello.
+constexpr uint32_t WireVersion = 1;
+/// A frame payload larger than this is corruption, not data: the biggest
+/// legitimate payload is a Solve carrying one problem's JSON.
+constexpr uint32_t MaxFramePayload = 64u << 20;
+/// Bytes before the payload: MAGIC + length + CRC.
+constexpr size_t FrameHeaderBytes = 12;
+
+/// Wraps \p Payload in a frame (header + CRC) ready to write to a socket.
+std::string encodeFrame(std::string_view Payload);
+
+/// Incremental frame parser over an arbitrary byte stream. Feed whatever
+/// the socket produced; take() yields complete, CRC-verified payloads.
+/// Any damage switches the decoder into the terminal Corrupt state.
+class FrameDecoder {
+public:
+  enum class Status {
+    Frame,    ///< a payload was produced
+    NeedMore, ///< no complete frame buffered yet
+    Corrupt   ///< bad preamble / oversized length / CRC mismatch; terminal
+  };
+
+  /// Appends raw socket bytes to the internal buffer.
+  void feed(std::string_view Data);
+
+  /// Extracts the next complete frame's payload into \p Payload.
+  Status take(std::string &Payload);
+
+  bool corrupt() const { return Poisoned; }
+  /// Bytes buffered but not yet consumed (incomplete trailing frame).
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0; ///< consumed prefix of Buf, compacted lazily
+  bool Poisoned = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+enum class MsgType : uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  Solve = 3,
+  Result = 4,
+  Cancel = 5,
+  Error = 6,
+};
+
+/// Printable name ("hello", "solve", ...) of \p T.
+std::string_view msgTypeName(MsgType T);
+
+/// One decoded message. Fields are meaningful per the type table in the
+/// file comment; unused fields are zero/empty. Kept as one flat struct —
+/// the message set is small and a tagged union buys nothing at this size.
+struct WireMessage {
+  MsgType Type = MsgType::Hello;
+
+  // Hello / HelloAck
+  uint32_t Version = 0;
+  uint64_t OptionsDigest = 0; ///< problemFingerprint-relevant engine knobs
+  uint64_t CompatKey = 0;     ///< warmStateCompatKey(library, config)
+  uint32_t Accepted = 0;      ///< HelloAck: 1 = compatible
+  std::string Text;           ///< Hello: peer name; HelloAck/Error: message
+
+  // Solve / Result / Cancel / Error
+  uint64_t ReqId = 0;
+  int64_t Priority = 0;
+  uint64_t DeadlineMs = 0;    ///< remaining budget at send time; 0 = none
+  std::string ProblemJson;    ///< Solve: ProblemIO document
+
+  // Result
+  uint32_t OutcomeCode = 0;   ///< api Outcome enum value
+  std::string Source;         ///< worker-side resultSourceName()
+  double Seconds = 0;
+  double QueueMs = 0;
+  double SolveMs = 0;
+  uint64_t Hypotheses = 0;
+  uint64_t Candidates = 0;
+  std::string Program;        ///< s-expression; empty when unsolved
+};
+
+/// Serializes \p M as a frame payload (not yet framed; pass through
+/// encodeFrame before writing to a socket).
+std::string encodeMessage(const WireMessage &M);
+
+/// Decodes one frame payload. nullopt (with \p Err) on an unknown type or
+/// a truncated/overlong body — the caller treats it like frame corruption
+/// and closes the connection.
+std::optional<WireMessage> decodeMessage(std::string_view Payload,
+                                         std::string *Err = nullptr);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_NET_WIRE_H

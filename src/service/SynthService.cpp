@@ -66,6 +66,13 @@ struct JobHandle::JobState {
   /// service has no bus attached.
   uint64_t Id = 0;
   uint64_t ExFp = 0;
+  /// Timing for queueMs()/solveMs(): SubmitTime is immutable after
+  /// submit; StartTime is set (with Started) at the Queued→Running
+  /// transition and DoneTime at completion, both under M.
+  std::chrono::steady_clock::time_point SubmitTime;
+  std::chrono::steady_clock::time_point StartTime GUARDED_BY(M);
+  std::chrono::steady_clock::time_point DoneTime GUARDED_BY(M);
+  bool Started GUARDED_BY(M) = false;
   /// This handle's own absolute deadline (nullopt = none). Enforced while
   /// the job is queued; see JobRequest::deadline for the contract.
   std::optional<std::chrono::steady_clock::time_point> Deadline;
@@ -74,6 +81,28 @@ struct JobHandle::JobState {
 };
 
 uint64_t JobHandle::fingerprint() const { return State ? State->Fp : 0; }
+
+uint64_t JobHandle::id() const { return State ? State->Id : 0; }
+
+double JobHandle::queueMs() const {
+  assert(State && "queueMs() on an invalid handle");
+  MutexLock Lock(State->M);
+  if (State->Status != JobStatus::Done)
+    return 0;
+  auto End = State->Started ? State->StartTime : State->DoneTime;
+  return std::chrono::duration<double, std::milli>(End - State->SubmitTime)
+      .count();
+}
+
+double JobHandle::solveMs() const {
+  assert(State && "solveMs() on an invalid handle");
+  MutexLock Lock(State->M);
+  if (State->Status != JobStatus::Done || !State->Started)
+    return 0;
+  return std::chrono::duration<double, std::milli>(State->DoneTime -
+                                                   State->StartTime)
+      .count();
+}
 
 JobStatus JobHandle::status() const {
   assert(State && "status() on an invalid handle");
@@ -248,6 +277,7 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
   auto State = std::make_shared<JobHandle::JobState>();
   State->Fp = Fp;
   State->Svc = this;
+  State->SubmitTime = SubmitTime;
   if (R.deadline().count() > 0)
     State->Deadline = SubmitTime + R.deadline();
 
@@ -312,8 +342,16 @@ JobHandle SynthService::submitImpl(Problem P, const JobRequest &R,
         // Riding a solve that already started: the reaper still
         // completes this handle as Timeout at its own deadline if the
         // result hasn't arrived.
-        MutexLock SL(State->M);
-        State->Status = JobStatus::Running;
+        {
+          MutexLock SL(State->M);
+          State->Status = JobStatus::Running;
+          State->Started = true;
+          // This handle never waited: its solve was already underway.
+          State->StartTime = SubmitTime;
+        }
+        if (Bus && Bus->wants(EventKind::JobStarted))
+          Bus->publish(
+              Event(EventKind::JobStarted, State->ExFp, State->Id, Fp));
         if (State->Deadline)
           DeadlineChanged.notify_one();
       } else {
@@ -442,12 +480,18 @@ void SynthService::workerLoop() {
     ++RunningCount;
     RunningWorks.push_back(W);
     ++Counters.SolvesRun;
+    auto SolveStart = std::chrono::steady_clock::now();
     for (const std::shared_ptr<JobHandle::JobState> &St : W->Waiters) {
-      MutexLock SL(St->M);
-      St->Status = JobStatus::Running;
+      {
+        MutexLock SL(St->M);
+        St->Status = JobStatus::Running;
+        St->Started = true;
+        St->StartTime = SolveStart;
+      }
+      if (Bus && Bus->wants(EventKind::JobStarted))
+        Bus->publish(Event(EventKind::JobStarted, St->ExFp, St->Id, W->Fp));
     }
 
-    auto SolveStart = std::chrono::steady_clock::now();
     // Captured once: the reaper may shed riders (it never touches a
     // running work's Deadline, but the clamp that actually applied is
     // what the cache-soundness check below must reason about).
@@ -667,6 +711,7 @@ bool SynthService::complete(const std::shared_ptr<JobHandle::JobState> &State,
     if (State->Status == JobStatus::Done)
       return false;
     State->Status = JobStatus::Done;
+    State->DoneTime = std::chrono::steady_clock::now();
     if (OverrideSource)
       State->Source = *OverrideSource;
     Src = State->Source;

@@ -182,9 +182,20 @@ public:
 
   bool valid() const { return State != nullptr; }
   uint64_t fingerprint() const;
+  /// Bus job id (unique per submission, monotone in submit order); 0 when
+  /// the service has no event bus attached.
+  uint64_t id() const;
   JobStatus status() const;
   /// Meaningful once status() == Done.
   ResultSource source() const;
+
+  /// Scheduling latency split, meaningful once status() == Done:
+  /// queueMs() is submission → solve start (or → completion for handles
+  /// that never ran: cache hits, queue-deadline expiries, cancellations);
+  /// solveMs() is solve start → completion (0 for handles that never
+  /// ran). A coalesced handle reports the shared solve's start.
+  double queueMs() const;
+  double solveMs() const;
 
   /// Blocks until the job completes; returns its Solution. The reference
   /// stays valid as long as any copy of this handle does.

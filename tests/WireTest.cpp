@@ -1,0 +1,562 @@
+//===- tests/WireTest.cpp - Wire codec fuzzing and worker robustness ----------==//
+//
+// Part of the Morpheus reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cluster wire boundary (net/Wire.h) faces whatever a peer — buggy,
+/// killed mid-write, or malicious — puts on the socket, so it gets the
+/// IoFuzzTest treatment: truncation at every byte offset, oversized
+/// length prefixes, corrupted CRCs, garbage preambles, and deterministic
+/// random mutation, each of which must come back as NeedMore or the
+/// terminal Corrupt state — never a crash, never a mangled payload.
+///
+/// The second half aims the same inputs at a *live* WorkerNode over real
+/// TCP: every malformed stream must close that one connection (and only
+/// it) while the worker keeps serving well-formed peers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include "cluster/Handshake.h"
+#include "cluster/WorkerNode.h"
+#include "interp/Components.h"
+#include "io/ProblemIO.h"
+#include "io/RecordLog.h"
+#include "service/WarmState.h"
+#include "table/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace morpheus;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Message codec round-trips
+//===----------------------------------------------------------------------===//
+
+WireMessage sampleSolve() {
+  WireMessage M;
+  M.Type = MsgType::Solve;
+  M.ReqId = 42;
+  M.Priority = -3;
+  M.DeadlineMs = 1500;
+  M.ProblemJson = R"({"inputs":[],"output":{}})";
+  return M;
+}
+
+WireMessage sampleResult() {
+  WireMessage M;
+  M.Type = MsgType::Result;
+  M.ReqId = 42;
+  M.OutcomeCode = 0;
+  M.Source = "cache-hit";
+  M.Seconds = 0.25;
+  M.QueueMs = 1.5;
+  M.SolveMs = 248.5;
+  M.Hypotheses = 19;
+  M.Candidates = 77;
+  M.Program = "(select (input 0) (cols id))";
+  return M;
+}
+
+TEST(WireCodec, EveryMessageTypeRoundTrips) {
+  WireMessage Hello;
+  Hello.Type = MsgType::Hello;
+  Hello.Version = WireVersion;
+  Hello.OptionsDigest = 0xdeadbeefcafef00dULL;
+  Hello.CompatKey = 0x0123456789abcdefULL;
+  Hello.Text = "coordinator";
+
+  WireMessage Ack;
+  Ack.Type = MsgType::HelloAck;
+  Ack.Version = WireVersion;
+  Ack.Accepted = 1;
+  Ack.Text = "worker-7";
+
+  WireMessage Cancel;
+  Cancel.Type = MsgType::Cancel;
+  Cancel.ReqId = 99;
+
+  WireMessage Error;
+  Error.Type = MsgType::Error;
+  Error.ReqId = 99;
+  Error.Text = "queue full";
+
+  for (const WireMessage &M :
+       {Hello, Ack, sampleSolve(), sampleResult(), Cancel, Error}) {
+    std::string Err;
+    std::optional<WireMessage> D = decodeMessage(encodeMessage(M), &Err);
+    ASSERT_TRUE(D) << msgTypeName(M.Type) << ": " << Err;
+    EXPECT_EQ(D->Type, M.Type);
+    EXPECT_EQ(D->Version, M.Version);
+    EXPECT_EQ(D->OptionsDigest, M.OptionsDigest);
+    EXPECT_EQ(D->CompatKey, M.CompatKey);
+    EXPECT_EQ(D->Accepted, M.Accepted);
+    EXPECT_EQ(D->Text, M.Text);
+    EXPECT_EQ(D->ReqId, M.ReqId);
+    EXPECT_EQ(D->Priority, M.Priority);
+    EXPECT_EQ(D->DeadlineMs, M.DeadlineMs);
+    EXPECT_EQ(D->ProblemJson, M.ProblemJson);
+    EXPECT_EQ(D->OutcomeCode, M.OutcomeCode);
+    EXPECT_EQ(D->Source, M.Source);
+    EXPECT_EQ(D->Seconds, M.Seconds);
+    EXPECT_EQ(D->QueueMs, M.QueueMs);
+    EXPECT_EQ(D->SolveMs, M.SolveMs);
+    EXPECT_EQ(D->Hypotheses, M.Hypotheses);
+    EXPECT_EQ(D->Candidates, M.Candidates);
+    EXPECT_EQ(D->Program, M.Program);
+  }
+}
+
+TEST(WireCodec, FramingRoundTripsThroughTheDecoder) {
+  std::string Payload = encodeMessage(sampleResult());
+  FrameDecoder Dec;
+  Dec.feed(encodeFrame(Payload));
+  std::string Out;
+  ASSERT_EQ(Dec.take(Out), FrameDecoder::Status::Frame);
+  EXPECT_EQ(Out, Payload);
+  EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::NeedMore);
+  EXPECT_EQ(Dec.buffered(), 0u);
+}
+
+TEST(WireCodec, ManyFramesOneFeedAndByteAtATime) {
+  std::vector<std::string> Payloads = {encodeMessage(sampleSolve()),
+                                       encodeMessage(sampleResult()),
+                                       std::string(), // empty payload: legal
+                                       std::string(5000, 'x')};
+  std::string Stream;
+  for (const std::string &P : Payloads)
+    Stream += encodeFrame(P);
+
+  // All at once.
+  {
+    FrameDecoder Dec;
+    Dec.feed(Stream);
+    std::string Out;
+    for (const std::string &P : Payloads) {
+      ASSERT_EQ(Dec.take(Out), FrameDecoder::Status::Frame);
+      EXPECT_EQ(Out, P);
+    }
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::NeedMore);
+  }
+
+  // One byte at a time — the decoder is incremental, the framing
+  // self-delimiting; TCP may deliver any split.
+  {
+    FrameDecoder Dec;
+    std::string Out;
+    size_t Got = 0;
+    for (char B : Stream) {
+      Dec.feed(std::string_view(&B, 1));
+      while (Dec.take(Out) == FrameDecoder::Status::Frame) {
+        EXPECT_EQ(Out, Payloads[Got]);
+        ++Got;
+      }
+      EXPECT_FALSE(Dec.corrupt());
+    }
+    EXPECT_EQ(Got, Payloads.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial frames
+//===----------------------------------------------------------------------===//
+
+TEST(WireFuzz, TruncationAtEveryByteOffsetNeverYieldsAFrame) {
+  std::string Frame = encodeFrame(encodeMessage(sampleResult()));
+  for (size_t Len = 0; Len != Frame.size(); ++Len) {
+    FrameDecoder Dec;
+    Dec.feed(std::string_view(Frame).substr(0, Len));
+    std::string Out;
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::NeedMore)
+        << "prefix of length " << Len << " produced a frame or corrupted";
+    EXPECT_FALSE(Dec.corrupt()) << "prefix of length " << Len;
+    // Feeding the remainder must complete the frame exactly.
+    Dec.feed(std::string_view(Frame).substr(Len));
+    ASSERT_EQ(Dec.take(Out), FrameDecoder::Status::Frame)
+        << "split at " << Len << " lost the frame";
+  }
+}
+
+TEST(WireFuzz, MessageTruncationAtEveryByteFailsCleanly) {
+  for (const WireMessage &M : {sampleSolve(), sampleResult()}) {
+    std::string Payload = encodeMessage(M);
+    ASSERT_TRUE(decodeMessage(Payload));
+    for (size_t Len = 0; Len != Payload.size(); ++Len) {
+      std::string Err;
+      EXPECT_FALSE(
+          decodeMessage(std::string_view(Payload).substr(0, Len), &Err))
+          << msgTypeName(M.Type) << " prefix of length " << Len
+          << " unexpectedly decoded";
+      EXPECT_FALSE(Err.empty()) << "no error for prefix " << Len;
+    }
+    // Trailing junk is an overlong body — also rejected, not ignored.
+    std::string Err;
+    EXPECT_FALSE(decodeMessage(Payload + "x", &Err));
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(WireFuzz, OversizedLengthPrefixIsCorruptionNotAllocation) {
+  // A length just past the cap must poison the stream immediately — the
+  // decoder must not buffer toward a 4 GiB "payload".
+  ByteWriter W;
+  W.putU32(WireMagic);
+  W.putU32(MaxFramePayload + 1);
+  W.putU32(0 /* crc, never reached */);
+  FrameDecoder Dec;
+  Dec.feed(W.bytes());
+  std::string Out;
+  EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::Corrupt);
+  EXPECT_TRUE(Dec.corrupt());
+
+  // 0xFFFFFFFF likewise.
+  ByteWriter W2;
+  W2.putU32(WireMagic);
+  W2.putU32(0xFFFFFFFFu);
+  W2.putU32(0);
+  FrameDecoder Dec2;
+  Dec2.feed(W2.bytes());
+  EXPECT_EQ(Dec2.take(Out), FrameDecoder::Status::Corrupt);
+}
+
+TEST(WireFuzz, CorruptCrcPoisonsTheStreamTerminally) {
+  std::string Payload = encodeMessage(sampleSolve());
+  std::string Frame = encodeFrame(Payload);
+  // Flip each payload byte in turn: every flip must be caught by the CRC.
+  for (size_t At = FrameHeaderBytes; At != Frame.size(); ++At) {
+    std::string Bad = Frame;
+    Bad[At] = char(Bad[At] ^ 0x20);
+    FrameDecoder Dec;
+    Dec.feed(Bad);
+    std::string Out;
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::Corrupt)
+        << "flip at offset " << At << " went undetected";
+    // Terminal: a pristine frame after the damage is not resynchronized.
+    Dec.feed(Frame);
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::Corrupt);
+    EXPECT_TRUE(Dec.corrupt());
+  }
+}
+
+TEST(WireFuzz, GarbagePreambleIsCorruption) {
+  std::string Out;
+  for (std::string Garbage :
+       {std::string("GET / HTTP/1.1\r\n\r\n"), std::string(12, '\0'),
+        std::string("MRPX____????"), std::string("{\"json\":\"no\"}")}) {
+    FrameDecoder Dec;
+    Dec.feed(Garbage); // each is at least one header's worth
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::Corrupt) << Garbage;
+  }
+  // A single wrong byte in an otherwise valid magic too.
+  std::string Frame = encodeFrame("payload");
+  for (size_t At = 0; At != 4; ++At) {
+    std::string Bad = Frame;
+    Bad[At] = char(Bad[At] ^ 1);
+    FrameDecoder Dec;
+    Dec.feed(Bad);
+    EXPECT_EQ(Dec.take(Out), FrameDecoder::Status::Corrupt)
+        << "magic flip at " << At;
+  }
+}
+
+TEST(WireFuzz, DeterministicMutationSweepNeverCrashes) {
+  // LCG-driven single-byte mutations of a two-frame stream, the same
+  // harness IoFuzzTest aims at the JSON layer. Invariant: take() always
+  // terminates with Frame / NeedMore / Corrupt, and any produced payload
+  // either decodes or errors with a message.
+  std::string Stream =
+      encodeFrame(encodeMessage(sampleSolve())) +
+      encodeFrame(encodeMessage(sampleResult()));
+  uint64_t Lcg = 0x853c49e6748fea9bULL;
+  auto Next = [&Lcg] {
+    Lcg = Lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Lcg >> 33;
+  };
+  int Intact = 0;
+  for (int I = 0; I != 2000; ++I) {
+    std::string Mutant = Stream;
+    switch (Next() % 3) {
+    case 0:
+      Mutant[Next() % Mutant.size()] = char(Next() % 256);
+      break;
+    case 1:
+      Mutant.erase(Next() % Mutant.size(), 1);
+      break;
+    case 2: {
+      size_t At = Next() % Mutant.size();
+      Mutant.insert(At, Mutant.substr(At, Next() % 16));
+      break;
+    }
+    }
+    FrameDecoder Dec;
+    Dec.feed(Mutant);
+    std::string Out;
+    int Frames = 0;
+    while (Dec.take(Out) == FrameDecoder::Status::Frame) {
+      ++Frames;
+      std::string Err;
+      if (!decodeMessage(Out, &Err))
+        EXPECT_FALSE(Err.empty());
+    }
+    Intact += (Frames == 2 && !Dec.corrupt());
+  }
+  // Some mutations land in string bytes the CRC still covers — so nearly
+  // everything is caught; a mutation in the *trailing* frame can leave
+  // the first intact. Only sanity-check both outcomes occur.
+  EXPECT_LT(Intact, 2000);
+}
+
+//===----------------------------------------------------------------------===//
+// Live worker: malformed streams close the connection, not the process
+//===----------------------------------------------------------------------===//
+
+/// Minimal blocking TCP client for poking the worker directly — the
+/// coordinator is deliberately not used here, because it would never send
+/// these bytes.
+class RawClient {
+public:
+  explicit RawClient(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in A{};
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    A.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+    // Bound every recv: a worker that wrongly keeps a poisoned connection
+    // open turns into a visible test failure, not a hang.
+    timeval Tv{10, 0};
+    if (Fd >= 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  }
+  ~RawClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool ok() const { return Fd >= 0; }
+
+  bool sendAll(std::string_view Data) {
+    while (!Data.empty()) {
+      ssize_t N = ::send(Fd, Data.data(), Data.size(), MSG_NOSIGNAL);
+      if (N <= 0)
+        return false;
+      Data.remove_prefix(size_t(N));
+    }
+    return true;
+  }
+
+  /// Reads until EOF (true) or timeout/error (false); appends to \p Out.
+  bool recvUntilEof(std::string &Out) {
+    char Buf[4096];
+    for (;;) {
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N == 0)
+        return true;
+      if (N < 0)
+        return false;
+      Out.append(Buf, size_t(N));
+    }
+  }
+
+  /// Reads until \p Out holds at least one complete frame or EOF/timeout.
+  std::optional<WireMessage> recvMessage() {
+    FrameDecoder Dec;
+    char Buf[4096];
+    std::string Payload;
+    for (;;) {
+      switch (Dec.take(Payload)) {
+      case FrameDecoder::Status::Frame:
+        return decodeMessage(Payload);
+      case FrameDecoder::Status::Corrupt:
+        return std::nullopt;
+      case FrameDecoder::Status::NeedMore:
+        break;
+      }
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N <= 0)
+        return std::nullopt;
+      Dec.feed(std::string_view(Buf, size_t(N)));
+    }
+  }
+
+private:
+  int Fd = -1;
+};
+
+struct LiveWorker {
+  EngineOptions EOpts;
+  std::unique_ptr<WorkerNode> Node;
+
+  LiveWorker() {
+    EOpts.timeout(std::chrono::seconds(30));
+    Node = std::make_unique<WorkerNode>(
+        StandardComponents::get().tidyDplyr(), EOpts,
+        ServiceOptions().workers(1));
+    std::string Err;
+    EXPECT_TRUE(Node->start(&Err)) << Err;
+  }
+
+  std::string helloFrame() const {
+    WireMessage Hello;
+    Hello.Type = MsgType::Hello;
+    Hello.Version = WireVersion;
+    Hello.OptionsDigest = clusterOptionsDigest(EOpts);
+    Hello.CompatKey = warmStateCompatKey(
+        StandardComponents::get().tidyDplyr(), EOpts.config());
+    Hello.Text = "wiretest";
+    return encodeFrame(encodeMessage(Hello));
+  }
+};
+
+/// Drives one malformed byte stream against \p W: connect, (optionally)
+/// handshake, send \p Bytes, and require the worker to close the
+/// connection within the recv timeout.
+void expectClosedFor(LiveWorker &W, const std::string &Bytes,
+                     bool HandshakeFirst, const char *What) {
+  RawClient C(W.Node->port());
+  ASSERT_TRUE(C.ok()) << What;
+  if (HandshakeFirst) {
+    ASSERT_TRUE(C.sendAll(W.helloFrame())) << What;
+    std::optional<WireMessage> Ack = C.recvMessage();
+    ASSERT_TRUE(Ack && Ack->Type == MsgType::HelloAck && Ack->Accepted)
+        << What << ": handshake failed";
+  }
+  ASSERT_TRUE(C.sendAll(Bytes)) << What;
+  std::string Rest;
+  EXPECT_TRUE(C.recvUntilEof(Rest))
+      << What << ": worker kept a poisoned connection open";
+}
+
+TEST(WorkerRobustness, MalformedStreamsCloseOnlyThatConnection) {
+  LiveWorker W;
+
+  // Garbage preamble, before any handshake.
+  expectClosedFor(W, "GET / HTTP/1.1\r\nHost: x\r\n\r\n", false,
+                  "http garbage");
+
+  // Oversized length prefix.
+  {
+    ByteWriter B;
+    B.putU32(WireMagic);
+    B.putU32(MaxFramePayload + 1);
+    B.putU32(0);
+    expectClosedFor(W, B.bytes(), false, "oversized length");
+  }
+
+  // Corrupt CRC on an otherwise valid frame, after a good handshake.
+  {
+    std::string Frame = encodeFrame(encodeMessage(sampleSolve()));
+    Frame.back() = char(Frame.back() ^ 0x01);
+    expectClosedFor(W, Frame, true, "corrupt crc");
+  }
+
+  // Solve before Hello: protocol violation, same fate.
+  expectClosedFor(W, encodeFrame(encodeMessage(sampleSolve())), false,
+                  "solve before hello");
+
+  // A Solve whose problem JSON does not parse answers Error (the
+  // connection survives — the bytes were well-formed, the job was not).
+  {
+    RawClient C(W.Node->port());
+    ASSERT_TRUE(C.ok());
+    ASSERT_TRUE(C.sendAll(W.helloFrame()));
+    std::optional<WireMessage> Ack = C.recvMessage();
+    ASSERT_TRUE(Ack && Ack->Accepted);
+    WireMessage Bad = sampleSolve();
+    Bad.ProblemJson = "{not json";
+    ASSERT_TRUE(C.sendAll(encodeFrame(encodeMessage(Bad))));
+    std::optional<WireMessage> Err = C.recvMessage();
+    ASSERT_TRUE(Err);
+    EXPECT_EQ(Err->Type, MsgType::Error);
+    EXPECT_EQ(Err->ReqId, Bad.ReqId);
+    EXPECT_FALSE(Err->Text.empty());
+  }
+
+  // Incompatible handshake: refused politely (ack, not slam).
+  {
+    RawClient C(W.Node->port());
+    ASSERT_TRUE(C.ok());
+    WireMessage Hello;
+    Hello.Type = MsgType::Hello;
+    Hello.Version = WireVersion;
+    Hello.OptionsDigest = 0x1234; // wrong
+    Hello.CompatKey = 0x5678;     // wrong
+    ASSERT_TRUE(C.sendAll(encodeFrame(encodeMessage(Hello))));
+    std::optional<WireMessage> Ack = C.recvMessage();
+    ASSERT_TRUE(Ack);
+    EXPECT_EQ(Ack->Type, MsgType::HelloAck);
+    EXPECT_EQ(Ack->Accepted, 0u);
+    std::string Rest;
+    EXPECT_TRUE(C.recvUntilEof(Rest));
+  }
+
+  // After all that abuse the worker still serves a well-formed peer,
+  // end to end: handshake, Solve, solved Result.
+  {
+    RawClient C(W.Node->port());
+    ASSERT_TRUE(C.ok());
+    ASSERT_TRUE(C.sendAll(W.helloFrame()));
+    std::optional<WireMessage> Ack = C.recvMessage();
+    ASSERT_TRUE(Ack && Ack->Accepted);
+
+    Table In = makeTable({{"id", CellType::Num}, {"v", CellType::Num}},
+                         {{num(1), num(10)}, {num(2), num(20)}});
+    Problem P = Problem::fromTables({In}, In); // identity: trivial solve
+    WireMessage Solve;
+    Solve.Type = MsgType::Solve;
+    Solve.ReqId = 7;
+    Solve.ProblemJson = problemToJson(P).dump();
+    ASSERT_TRUE(C.sendAll(encodeFrame(encodeMessage(Solve))));
+    std::optional<WireMessage> Res = C.recvMessage();
+    ASSERT_TRUE(Res);
+    EXPECT_EQ(Res->Type, MsgType::Result);
+    EXPECT_EQ(Res->ReqId, 7u);
+    EXPECT_EQ(Res->OutcomeCode, 0u) << "identity problem must solve";
+    EXPECT_FALSE(Res->Program.empty());
+  }
+
+  WorkerNodeStats S = W.Node->stats();
+  EXPECT_GE(S.MalformedClosed, 4u); // the four poisoned streams above
+  EXPECT_EQ(S.HandshakesRefused, 1u);
+  EXPECT_GE(S.JobsAnswered, 1u);
+  W.Node->stop();
+}
+
+TEST(WorkerRobustness, TruncationSweepOfAHelloNeverKillsTheWorker) {
+  // Send every strict prefix of a valid Hello frame on its own
+  // connection, then hang up. The worker must treat each as a dead peer
+  // (it never got a complete frame) and survive the sweep; a full frame
+  // at the end proves it is still alive and accepting.
+  LiveWorker W;
+  std::string Frame = W.helloFrame();
+  for (size_t Len = 0; Len != Frame.size(); ++Len) {
+    RawClient C(W.Node->port());
+    ASSERT_TRUE(C.ok()) << "worker died before prefix " << Len;
+    ASSERT_TRUE(C.sendAll(std::string_view(Frame).substr(0, Len)));
+    // Destructor closes; the worker sees EOF mid-frame.
+  }
+  RawClient C(W.Node->port());
+  ASSERT_TRUE(C.ok());
+  ASSERT_TRUE(C.sendAll(Frame));
+  std::optional<WireMessage> Ack = C.recvMessage();
+  ASSERT_TRUE(Ack && Ack->Type == MsgType::HelloAck && Ack->Accepted)
+      << "worker unhealthy after truncation sweep";
+  W.Node->stop();
+}
+
+} // namespace

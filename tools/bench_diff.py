@@ -20,11 +20,19 @@ make it a gate once runner noise is characterized.
 Usage:
   tools/bench_diff.py baseline.json current.json [--threshold 0.10]
                       [--min-seconds 0.05]
+  tools/bench_diff.py current.json        # baseline = repo-root
+                                          # BENCH_synth.json (the
+                                          # committed rolling baseline)
 """
 
 import argparse
 import json
+import os
 import sys
+
+REPO_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_synth.json")
 
 
 def load(path):
@@ -47,7 +55,7 @@ def pct(new, old):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?", default=None)
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative growth that counts as a regression "
                          "(default 0.10 = 10%%)")
@@ -55,6 +63,11 @@ def main():
                     help="ignore timing checks for tasks faster than this "
                          "in the baseline (default 0.05)")
     args = ap.parse_args()
+
+    # One positional: it is the *current* snapshot, judged against the
+    # committed repo-root baseline.
+    if args.current is None:
+        args.baseline, args.current = REPO_BASELINE, args.baseline
 
     base = load(args.baseline)
     cur = load(args.current)

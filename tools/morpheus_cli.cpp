@@ -35,11 +35,15 @@
 #include "bus/Replay.h"
 #include "bus/StatsSink.h"
 #include "bus/TrafficRecorder.h"
+#include "cluster/ClusterClient.h"
+#include "cluster/WorkerNode.h"
 #include "interp/Components.h"
 #include "io/Json.h"
 #include "io/ProblemIO.h"
 #include "io/ProgramIO.h"
 #include "io/TableIO.h"
+#include "net/Protocol.h"
+#include "net/Socket.h"
 #include "service/SynthService.h"
 #include "suite/Runner.h"
 #include "support/Simd.h"
@@ -76,6 +80,8 @@ int usage(const char *Msg = nullptr) {
       "                                         suite\n"
       "  morpheus serve [options]               JSON-lines synthesis service\n"
       "                                         on stdin/stdout\n"
+      "  morpheus worker --listen HOST:PORT     cluster worker: serve the\n"
+      "                                         binary wire protocol on TCP\n"
       "  morpheus replay <log.jsonl> [options]  re-drive a recorded traffic\n"
       "                                         log and diff the outcomes\n"
       "  morpheus analyze [options]             lint the component library's\n"
@@ -130,8 +136,21 @@ int usage(const char *Msg = nullptr) {
       "                                   refutation stores in DIR (created\n"
       "                                   if missing) and restore them at\n"
       "                                   startup\n"
+      "  --cluster H1:P1,H2:P2,...        forward jobs to worker nodes,\n"
+      "                                   sharded by problem fingerprint;\n"
+      "                                   unreachable shards fail back to\n"
+      "                                   local solving (excludes --record)\n"
       "  --strategy, --timeout, --threads, --spec, --no-deduction,\n"
       "  --sharing, --library             as for solve\n"
+      "\n"
+      "worker options:\n"
+      "  --listen HOST:PORT               bind address (port 0 = ephemeral,\n"
+      "                                   printed on startup); required\n"
+      "  --name NAME                      name announced to coordinators\n"
+      "  --workers, --queue, --cache, --state-dir,\n"
+      "  engine flags                     as for serve; must match the\n"
+      "                                   coordinator's (the handshake\n"
+      "                                   verifies and refuses mismatches)\n"
       "\n"
       "replay options:\n"
       "  --timing fast|recorded           submit back-to-back (default) or\n"
@@ -747,53 +766,71 @@ int runBench(ArgReader &Args) {
 /// so a request/response client gets its answer while the reader blocks
 /// on the next stdin line (and a slow request delays later responses but
 /// never loses them — the service keeps solving behind it either way).
+/// Exactly one of Handle (single-node) and CJob (--cluster) is valid.
 struct PendingRequest {
   JsonValue Id; ///< echoed back; defaults to the 1-based line number
   std::string Name;
   std::string Error; ///< non-empty: the request never reached the service
   std::vector<std::string> InputNames;
   JobHandle Handle;
+  ClusterJob CJob;
 };
 
 void printResponse(const PendingRequest &Req) {
+  ServeResponse R;
   if (!Req.Error.empty()) {
-    JsonValue R = JsonValue::object();
-    R.set("id", Req.Id);
-    R.set("error", JsonValue::string(Req.Error));
-    std::printf("%s\n", R.dump().c_str());
-    std::fflush(stdout);
-    return;
+    R.Id = Req.Id;
+    R.Error = Req.Error;
+  } else if (Req.CJob.valid()) {
+    const Solution &S = Req.CJob.get();
+    R = makeServeResponse(Req.Id, Req.Name, Req.InputNames, S,
+                          Req.CJob.source());
+    R.QueueMs = Req.CJob.queueMs();
+    R.SolveMs = Req.CJob.solveMs();
+    R.Worker = Req.CJob.worker();
+  } else {
+    const Solution &S = Req.Handle.get();
+    R = makeServeResponse(Req.Id, Req.Name, Req.InputNames, S,
+                          resultSourceName(Req.Handle.source()));
+    R.QueueMs = Req.Handle.queueMs();
+    R.SolveMs = Req.Handle.solveMs();
   }
-  const Solution &S = Req.Handle.get();
-  JsonValue R = JsonValue::object();
-  R.set("id", Req.Id);
-  if (!Req.Name.empty())
-    R.set("name", JsonValue::string(Req.Name));
-  R.set("outcome",
-        JsonValue::string(std::string(outcomeName(S.Result))));
-  R.set("source",
-        JsonValue::string(std::string(resultSourceName(Req.Handle.source()))));
-  R.set("seconds", JsonValue::number(S.Seconds));
-  if (S) {
-    JsonValue Prog = JsonValue::object();
-    Prog.set("r", JsonValue::string(emitRProgram(S.Program, Req.InputNames)));
-    Prog.set("sexp", JsonValue::string(printSexp(S.Program)));
-    R.set("program", std::move(Prog));
-  }
-  JsonValue Stats = JsonValue::object();
-  Stats.set("hypotheses",
-            JsonValue::number(double(S.Stats.HypothesesExplored)));
-  Stats.set("candidates_checked",
-            JsonValue::number(double(S.Stats.CandidatesChecked)));
-  R.set("stats", std::move(Stats));
-  std::printf("%s\n", R.dump().c_str());
+  std::printf("%s\n", serveResponseLine(R).c_str());
   std::fflush(stdout);
+}
+
+/// Parses "H1:P1,H2:P2,..." into worker addresses; empty on any bad entry
+/// (with \p Err set).
+std::vector<SockAddr> parseClusterList(const std::string &Spec,
+                                       std::string *Err) {
+  std::vector<SockAddr> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Entry = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (!Entry.empty()) {
+      std::optional<SockAddr> A = parseHostPort(Entry);
+      if (!A) {
+        if (Err)
+          *Err = "bad worker address '" + Entry + "' (expected HOST:PORT)";
+        return {};
+      }
+      Out.push_back(*A);
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Out.empty() && Err)
+    *Err = "--cluster needs at least one HOST:PORT";
+  return Out;
 }
 
 int runServe(ArgReader &Args) {
   EngineOptions Opts;
   Opts.timeout(std::chrono::milliseconds(30000));
-  std::string LibraryName = "tidy", RecordPath;
+  std::string LibraryName = "tidy", RecordPath, ClusterSpec;
   ServiceOptions SvcOpts;
 
   while (!Args.done()) {
@@ -803,6 +840,10 @@ int runServe(ArgReader &Args) {
       if (!Args.value(A, V))
         return 2;
       RecordPath = V;
+    } else if (A == "--cluster") {
+      if (!Args.value(A, V))
+        return 2;
+      ClusterSpec = V;
     } else if (A == "--workers") {
       if (!Args.value(A, V))
         return 2;
@@ -837,6 +878,19 @@ int runServe(ArgReader &Args) {
       return usage(("unknown option " + A).c_str());
     }
   }
+  // The recorder captures the local service's bus; under --cluster most
+  // jobs never touch the local service, so the log would silently record
+  // only the fail-back slice — refuse the combination instead.
+  if (!RecordPath.empty() && !ClusterSpec.empty())
+    return usage("--record cannot be combined with --cluster");
+
+  std::vector<SockAddr> ClusterWorkers;
+  if (!ClusterSpec.empty()) {
+    std::string Err;
+    ClusterWorkers = parseClusterList(ClusterSpec, &Err);
+    if (ClusterWorkers.empty())
+      return usage(Err.c_str());
+  }
 
   // --record: a lossless bus feeds the traffic recorder; declared before
   // the service so the recorder outlives it and catches the completion
@@ -858,9 +912,31 @@ int runServe(ArgReader &Args) {
     Opts.eventBus(Bus);
   }
 
-  Engine E =
-      LibraryName == "sql" ? Engine::sql(Opts) : Engine::standard(Opts);
-  SynthService Svc(E, SvcOpts);
+  // Exactly one of these serves the requests; the coordinator owns its
+  // own local fail-back service internally.
+  std::unique_ptr<SynthService> Svc;
+  std::unique_ptr<ClusterClient> Cluster;
+  if (!ClusterWorkers.empty()) {
+    ComponentLibrary Lib = LibraryName == "sql"
+                               ? StandardComponents::get().sqlRelevant()
+                               : StandardComponents::get().tidyDplyr();
+    ClusterOptions COpts;
+    COpts.Workers = ClusterWorkers;
+    Cluster =
+        std::make_unique<ClusterClient>(std::move(Lib), Opts, SvcOpts, COpts);
+    if (!Cluster->waitForWorkers(unsigned(ClusterWorkers.size()),
+                                 std::chrono::milliseconds(5000))) {
+      ClusterStats CS = Cluster->stats();
+      std::fprintf(stderr,
+                   "serve: %zu/%zu cluster worker(s) up; unreachable shards "
+                   "fail back to local solving\n",
+                   CS.WorkersUp, ClusterWorkers.size());
+    }
+  } else {
+    Engine E =
+        LibraryName == "sql" ? Engine::sql(Opts) : Engine::standard(Opts);
+    Svc = std::make_unique<SynthService>(E, SvcOpts);
+  }
 
   // Reader/flusher pair: the main thread parses and submits, the flusher
   // blocks on the head-of-line job and prints — responses stream even
@@ -903,45 +979,24 @@ int runServe(ArgReader &Args) {
     ++LineNo;
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
+    ServeRequest SR = parseServeRequest(Line, LineNo);
     PendingRequest Req;
-    Req.Id = JsonValue::number(double(LineNo));
-
-    std::string Err;
-    std::optional<JsonValue> Doc = parseJson(Line, &Err);
-    if (!Doc) {
-      Req.Error = "parse error: " + Err;
+    Req.Id = SR.Id;
+    if (!SR.Error.empty()) {
+      Req.Error = SR.Error;
       Respond(std::move(Req));
       continue;
     }
-    if (const JsonValue *ReqId = Doc->find("id"))
-      Req.Id = *ReqId;
-
-    // A request is either {"id", "problem": {...}, "priority",
-    // "deadline_ms"} or a bare problem object.
-    const JsonValue *ProblemDoc = Doc->find("problem");
-    if (!ProblemDoc)
-      ProblemDoc = &*Doc;
-    std::optional<Problem> P = problemFromJson(*ProblemDoc, &Err);
-    if (!P) {
-      Req.Error = Err;
-      Respond(std::move(Req));
-      continue;
-    }
-
-    // Untrusted numbers: clamp before narrowing (double -> int outside
-    // the target range is UB, and clients control these fields).
     JobRequest R;
-    if (const JsonValue *Prio = Doc->find("priority");
-        Prio && Prio->isNumber() && std::isfinite(Prio->Num))
-      R.priority(int(std::min(1e6, std::max(-1e6, Prio->Num))));
-    if (const JsonValue *Dl = Doc->find("deadline_ms");
-        Dl && Dl->isNumber() && std::isfinite(Dl->Num) && Dl->Num > 0)
-      R.deadline(std::chrono::milliseconds(
-          long(std::min(Dl->Num, 86400000.0)))); // cap at one day
-
-    Req.Name = P->Name;
-    Req.InputNames = P->inputNames();
-    Req.Handle = Svc.submit(std::move(*P), R);
+    R.priority(SR.Priority);
+    if (SR.Deadline.count() > 0)
+      R.deadline(SR.Deadline);
+    Req.Name = SR.Prob->Name;
+    Req.InputNames = SR.Prob->inputNames();
+    if (Cluster)
+      Req.CJob = Cluster->submit(std::move(*SR.Prob), R);
+    else
+      Req.Handle = Svc->submit(std::move(*SR.Prob), R);
     Respond(std::move(Req));
   }
   {
@@ -951,22 +1006,138 @@ int runServe(ArgReader &Args) {
   PendingReady.notify_all();
   Flusher.join();
 
-  ServiceStats Stats = Svc.stats();
-  std::fprintf(stderr,
-               "serve: %llu request(s), %llu solve(s), %llu cache hit(s), "
-               "%llu coalesced, %llu deadline-expired\n",
-               (unsigned long long)Stats.Submitted,
-               (unsigned long long)Stats.SolvesRun,
-               (unsigned long long)Stats.Cache.Hits,
-               (unsigned long long)Stats.Cache.Coalesced,
-               (unsigned long long)(Stats.QueueDeadlineExpired +
-                                    Stats.RiderDeadlineExpired));
+  if (Cluster) {
+    ClusterStats CS = Cluster->stats();
+    std::fprintf(stderr,
+                 "serve: %llu request(s), %llu forwarded, %llu remote, "
+                 "%llu local, %llu failover(s), %llu remote error(s), "
+                 "%llu deadline-expired\n",
+                 (unsigned long long)CS.Submitted,
+                 (unsigned long long)CS.Forwarded,
+                 (unsigned long long)CS.RemoteCompleted,
+                 (unsigned long long)CS.LocalSolves,
+                 (unsigned long long)CS.Failovers,
+                 (unsigned long long)CS.RemoteErrors,
+                 (unsigned long long)CS.DeadlineExpired);
+  } else {
+    ServiceStats Stats = Svc->stats();
+    std::fprintf(stderr,
+                 "serve: %llu request(s), %llu solve(s), %llu cache hit(s), "
+                 "%llu coalesced, %llu deadline-expired\n",
+                 (unsigned long long)Stats.Submitted,
+                 (unsigned long long)Stats.SolvesRun,
+                 (unsigned long long)Stats.Cache.Hits,
+                 (unsigned long long)Stats.Cache.Coalesced,
+                 (unsigned long long)(Stats.QueueDeadlineExpired +
+                                      Stats.RiderDeadlineExpired));
+  }
   if (Recorder) {
     Bus->flush();
     std::fprintf(stderr, "recorded %llu job(s) to %s\n",
                  (unsigned long long)Recorder->recordsWritten(),
                  RecordPath.c_str());
   }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// worker: one cluster shard serving the binary wire protocol on TCP
+//===----------------------------------------------------------------------===//
+
+int runWorker(ArgReader &Args) {
+  EngineOptions Opts;
+  Opts.timeout(std::chrono::milliseconds(30000));
+  std::string LibraryName = "tidy", ListenSpec;
+  ServiceOptions SvcOpts;
+  WorkerNode::Options WOpts;
+
+  while (!Args.done()) {
+    std::string A = Args.next();
+    std::string V;
+    if (A == "--listen") {
+      if (!Args.value(A, V))
+        return 2;
+      ListenSpec = V;
+    } else if (A == "--name") {
+      if (!Args.value(A, V))
+        return 2;
+      WOpts.Name = V;
+    } else if (A == "--workers") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--workers expects a number");
+      SvcOpts.workers(unsigned(*N));
+    } else if (A == "--queue") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N || *N == 0)
+        return usage("--queue expects a positive number");
+      SvcOpts.queueCapacity(size_t(*N));
+    } else if (A == "--cache") {
+      if (!Args.value(A, V))
+        return 2;
+      std::optional<int> N = parseIntArg(V);
+      if (!N)
+        return usage("--cache expects a number");
+      SvcOpts.cacheCapacity(size_t(*N));
+    } else if (A == "--state-dir") {
+      if (!Args.value(A, V))
+        return 2;
+      if (!ensureDir(V))
+        return usage(("cannot create state dir " + V).c_str());
+      Opts.stateDir(V);
+    } else if (int E = engineArg(Args, A, Opts, LibraryName); E >= 0) {
+      if (E > 0)
+        return E;
+    } else {
+      return usage(("unknown option " + A).c_str());
+    }
+  }
+  if (ListenSpec.empty())
+    return usage("worker needs --listen HOST:PORT");
+  std::optional<SockAddr> Listen = parseHostPort(ListenSpec);
+  if (!Listen)
+    return usage("--listen expects HOST:PORT");
+  WOpts.Listen = *Listen;
+
+  ComponentLibrary Lib = LibraryName == "sql"
+                             ? StandardComponents::get().sqlRelevant()
+                             : StandardComponents::get().tidyDplyr();
+  WorkerNode Node(std::move(Lib), Opts, SvcOpts, WOpts);
+  std::string Err;
+  if (!Node.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  // Scripts (and the CI smoke) wait for this line before connecting; it
+  // also resolves --listen port 0.
+  std::printf("worker %s listening on %s:%u\n", WOpts.Name.c_str(),
+              WOpts.Listen.Host.c_str(), unsigned(Node.port()));
+  std::fflush(stdout);
+
+  // Serve until stdin closes (the conventional managed-process shutdown;
+  // SIGTERM works too, skipping the summary).
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+  }
+  Node.stop();
+
+  WorkerNodeStats WS = Node.stats();
+  ServiceStats SS = Node.service().stats();
+  std::fprintf(stderr,
+               "worker: %llu connection(s), %llu frame(s), %llu job(s) "
+               "accepted, %llu answered, %llu cache hit(s), %llu malformed "
+               "close(s), %llu handshake(s) refused\n",
+               (unsigned long long)WS.Connections,
+               (unsigned long long)WS.FramesIn,
+               (unsigned long long)WS.JobsAccepted,
+               (unsigned long long)WS.JobsAnswered,
+               (unsigned long long)SS.Cache.Hits,
+               (unsigned long long)WS.MalformedClosed,
+               (unsigned long long)WS.HandshakesRefused);
   return 0;
 }
 
@@ -1178,6 +1349,8 @@ int main(int argc, char **argv) {
     return runBench(Args);
   if (Cmd == "serve")
     return runServe(Args);
+  if (Cmd == "worker")
+    return runWorker(Args);
   if (Cmd == "replay")
     return runReplay(Args);
   if (Cmd == "analyze")
